@@ -1,0 +1,83 @@
+// Command lamsframe inspects the wire format: it decodes hex-encoded frames
+// from stdin (one per line) or, with -samples, prints an annotated gallery
+// of every frame kind the codec produces.
+//
+// Usage:
+//
+//	lamsframe -samples
+//	echo 02000000002a... | lamsframe
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/frame"
+)
+
+func main() {
+	samples := flag.Bool("samples", false, "print sample encodings of every frame kind")
+	flag.Parse()
+
+	if *samples {
+		printSamples()
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	status := 0
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.ReplaceAll(text, " ", ""))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "line %d: bad hex: %v\n", line, err)
+			status = 1
+			continue
+		}
+		for len(raw) > 0 {
+			f, n, err := frame.Decode(raw)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "line %d: %v (%d bytes left)\n", line, err, len(raw))
+				status = 1
+				break
+			}
+			fmt.Printf("%4dB  %s\n", n, f)
+			raw = raw[n:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "lamsframe: %v\n", err)
+		status = 1
+	}
+	os.Exit(status)
+}
+
+func printSamples() {
+	gallery := []*frame.Frame{
+		frame.NewI(17, 3, []byte("user payload bits")),
+		frame.NewCheckpoint(9, 18, nil, false, false),
+		frame.NewCheckpoint(10, 18, []uint32{12, 15}, false, false),
+		frame.NewCheckpoint(11, 18, []uint32{12, 15}, true, true),
+		frame.NewRequestNAK(4),
+		{Kind: frame.KindHDLCI, Seq: 5, Ack: 3, Payload: []byte("hdlc"), Final: true},
+		{Kind: frame.KindRR, Ack: 6, Final: true},
+		{Kind: frame.KindREJ, Ack: 4, Seq: 4},
+		{Kind: frame.KindSREJ, Ack: 9, Seq: 6},
+	}
+	for _, f := range gallery {
+		buf, err := f.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode %v: %v\n", f, err)
+			continue
+		}
+		fmt.Printf("%-44s %3dB  %s\n", f.String(), len(buf), hex.EncodeToString(buf))
+	}
+}

@@ -1,0 +1,120 @@
+// Command lamsim runs one protocol scenario on the simulated laser
+// crosslink and prints the measurements: the quick way to poke at the
+// design space outside the fixed experiment grid.
+//
+// Examples:
+//
+//	lamsim -proto lams -n 5000 -km 8000 -ber 1e-6
+//	lamsim -proto srhdlc -n 5000 -km 8000 -ber 1e-6 -w 128
+//	lamsim -proto lams -pf 0.2 -pc 0.05 -icp 5ms -cdepth 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/channel"
+	"repro/internal/fec"
+	"repro/internal/orbit"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		proto   = flag.String("proto", "lams", "protocol: lams | srhdlc | gbn")
+		n       = flag.Int("n", 2000, "datagrams to transfer")
+		payload = flag.Int("payload", 1024, "payload bytes per datagram")
+		rate    = flag.Float64("rate", 300e6, "link rate, bits/s")
+		km      = flag.Float64("km", 4000, "link distance, km")
+		ber     = flag.Float64("ber", 0, "channel BER (through the link FEC)")
+		pf      = flag.Float64("pf", -1, "fixed I-frame error probability (overrides -ber)")
+		pc      = flag.Float64("pc", -1, "fixed control-frame error probability (overrides -ber)")
+		icp     = flag.Duration("icp", 10*time.Millisecond, "LAMS checkpoint interval W_cp")
+		cdepth  = flag.Int("cdepth", 3, "LAMS cumulation depth C_depth")
+		w       = flag.Int("w", 64, "HDLC window size")
+		alpha   = flag.Duration("alpha", 13*time.Millisecond, "HDLC timeout slack α")
+		tproc   = flag.Duration("tproc", 10*time.Microsecond, "per-frame processing time")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		horizon = flag.Duration("horizon", 10*time.Minute, "virtual-time safety stop")
+		traceN  = flag.Int("trace", 0, "dump the last N link events after the run")
+	)
+	flag.Parse()
+
+	c := bench.RunConfig{
+		N:            *n,
+		PayloadBytes: *payload,
+		RateBps:      *rate,
+		OneWay:       orbit.PropagationDelay(*km * 1e3),
+		Icp:          *icp,
+		Cdepth:       *cdepth,
+		W:            *w,
+		Alpha:        *alpha,
+		Tproc:        *tproc,
+		Seed:         *seed,
+		Horizon:      *horizon,
+	}
+	switch *proto {
+	case "lams":
+		c.Protocol = bench.LAMS
+	case "srhdlc":
+		c.Protocol = bench.SRHDLC
+	case "gbn":
+		c.Protocol = bench.GBNHDLC
+	default:
+		fmt.Fprintf(os.Stderr, "lamsim: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	frameBits := (*payload + 21) * 8
+	switch {
+	case *pf >= 0:
+		c.IModel = channel.FixedProb{P: *pf}
+		pcv := *pc
+		if pcv < 0 {
+			pcv = 0
+		}
+		c.CModel = channel.FixedProb{P: pcv}
+	case *ber > 0:
+		c.IModel = channel.BSC{BER: *ber, Scheme: fec.Hamming74}
+		c.CModel = channel.BSC{BER: *ber, Scheme: fec.Repetition3}
+	}
+
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		c.TapAB = rec.ChannelTap("A->B")
+		c.TapBA = rec.ChannelTap("B->A")
+	}
+	res := bench.Run(c)
+
+	fmt.Printf("protocol        %v\n", res.Protocol)
+	fmt.Printf("link            %s, %.0f km (R=%v), frame %dB (t_f=%v)\n",
+		sim.FormatRate(*rate), *km, 2*c.OneWay,
+		*payload+21, sim.Duration(float64(frameBits)/(*rate)*float64(sim.Second)))
+	fmt.Printf("delivered       %d/%d (lost=%d dup=%d)\n", res.Delivered, *n, res.Lost, res.Duplicates)
+	fmt.Printf("elapsed         %v\n", res.Elapsed)
+	fmt.Printf("efficiency      %.4f of channel capacity\n", res.Efficiency)
+	fmt.Printf("transmissions   %d first + %d retransmitted (s̄=%.3f)\n",
+		res.FirstTx, res.Retransmissions, res.TransPerFrame)
+	fmt.Printf("control frames  %d\n", res.ControlSent)
+	fmt.Printf("holding time    mean %v, max %v\n", res.MeanHolding, res.MaxHolding)
+	fmt.Printf("delivery delay  mean %v\n", res.MeanDelay)
+	fmt.Printf("send buffer     mean %.1f, max %.0f frames (backlog at end: %d)\n",
+		res.SendBufMean, res.SendBufMax, res.FinalBacklog)
+	if res.Protocol == bench.LAMS {
+		fmt.Printf("recv buffer     max %.0f frames (dropped %d)\n", res.RecvBufMax, res.RecvDropped)
+		fmt.Printf("flow control    %d rate changes, final rate %.3f\n", res.RateChanges, res.FinalRate)
+		fmt.Printf("numbering span  %d live sequence numbers max\n", res.MaxLiveSpan)
+		fmt.Printf("failures        %d\n", res.Failures)
+	}
+	if rec != nil {
+		fmt.Printf("\n--- last %d link events ---\n%s", len(rec.Events()), rec.Dump())
+	}
+	if res.Lost > 0 {
+		os.Exit(1)
+	}
+}

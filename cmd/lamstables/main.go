@@ -1,0 +1,88 @@
+// Command lamstables regenerates the paper's evaluation: every experiment
+// of the index in DESIGN.md §5 (tables and figures E1–E12), each printed as
+// the rows/series the paper reports plus the pass/fail shape checks.
+//
+// Usage:
+//
+//	lamstables            # run everything
+//	lamstables -run E4    # one experiment
+//	lamstables -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E17)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	figures := flag.Bool("figures", false, "render each experiment's series as terminal charts")
+	flag.Parse()
+
+	if *list {
+		for _, r := range describe() {
+			fmt.Printf("%-4s %s\n", r[0], r[1])
+		}
+		return
+	}
+
+	var results []*bench.Result
+	if *runID != "" {
+		fn := bench.ByID(*runID)
+		if fn == nil {
+			fmt.Fprintf(os.Stderr, "lamstables: unknown experiment %q (try -list)\n", *runID)
+			os.Exit(2)
+		}
+		results = append(results, fn())
+	} else {
+		results = bench.All()
+	}
+
+	failed := 0
+	for _, r := range results {
+		fmt.Println(r.Render())
+		if *figures && len(r.Series) > 0 {
+			logX := r.ID == "E5" || r.ID == "E14" // BER sweeps span decades
+			fmt.Println(stats.Chart{
+				Title:  fmt.Sprintf("figure %s: %s", r.ID, r.Title),
+				Series: r.Series,
+				LogX:   logX,
+			}.Render())
+		}
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lamstables: %d experiment(s) with failing shape checks\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments passed their shape checks\n", len(results))
+}
+
+func describe() [][2]string {
+	return [][2]string{
+		{"E1", "mean transmissions per I-frame (s̄), NAK-only vs pos-ack"},
+		{"E2", "low-traffic delivery time D_low(N)"},
+		{"E3", "holding time H_frame and transparent buffer size B_LAMS"},
+		{"E4", "throughput efficiency η vs channel traffic N"},
+		{"E5", "throughput efficiency η vs BER (FEC-derived P_F, P_C)"},
+		{"E6", "throughput efficiency η vs link distance"},
+		{"E7", "burst errors vs C_depth·W_cp"},
+		{"E8", "link-failure detection latency vs C_depth"},
+		{"E9", "Stop-Go flow control under receiver overload"},
+		{"E10", "bounded numbering size"},
+		{"E11", "simulation-vs-analysis validation grid"},
+		{"E12", "HDLC D_retrn variant ablation (paper typo)"},
+		{"E13", "stutter (SR+ST) idle-time ablation"},
+		{"E14", "hybrid ARQ/FEC code-rate trade-off"},
+		{"E15", "cost of the in-sequence constraint (GBN vs SR vs LAMS)"},
+		{"E16", "delay vs throughput trade-off under rising load"},
+		{"E17", "checkpoint interval W_cp ablation"},
+	}
+}

@@ -1,0 +1,147 @@
+// Command lamsweep runs a one-dimensional parameter sweep and emits CSV,
+// the plot-ready counterpart of lamstables' fixed experiment grid.
+//
+// Examples:
+//
+//	lamsweep -param ber -values 1e-7,1e-6,1e-5,1e-4 -protos lams,srhdlc
+//	lamsweep -param km -values 2000,4000,6000,8000,10000
+//	lamsweep -param pf -values 0.01,0.05,0.1,0.2 -n 4000 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/channel"
+	"repro/internal/fec"
+	"repro/internal/orbit"
+)
+
+func main() {
+	var (
+		param   = flag.String("param", "ber", "swept parameter: ber | pf | km | n | icp | cdepth | w | alpha | payload")
+		values  = flag.String("values", "1e-6,1e-5,1e-4", "comma-separated sweep values")
+		protos  = flag.String("protos", "lams,srhdlc", "protocols: lams, srhdlc, gbn (comma-separated)")
+		n       = flag.Int("n", 2000, "datagrams per run")
+		payload = flag.Int("payload", 1024, "payload bytes")
+		rate    = flag.Float64("rate", 300e6, "link rate, bits/s")
+		km      = flag.Float64("km", 4000, "link distance, km")
+		ber     = flag.Float64("ber", 0, "base BER when not swept")
+		pf      = flag.Float64("pf", -1, "fixed P_F when not swept (overrides ber)")
+		pc      = flag.Float64("pc", -1, "fixed P_C (with -pf)")
+		icp     = flag.Duration("icp", 10*time.Millisecond, "checkpoint interval")
+		cdepth  = flag.Int("cdepth", 3, "cumulation depth")
+		w       = flag.Int("w", 64, "HDLC window")
+		alpha   = flag.Duration("alpha", 13*time.Millisecond, "HDLC timeout slack")
+		seed    = flag.Uint64("seed", 1, "seed")
+		horizon = flag.Duration("horizon", 2*time.Minute, "virtual-time cap per run")
+	)
+	flag.Parse()
+
+	base := bench.RunConfig{
+		N:            *n,
+		PayloadBytes: *payload,
+		RateBps:      *rate,
+		OneWay:       orbit.PropagationDelay(*km * 1e3),
+		Icp:          *icp,
+		Cdepth:       *cdepth,
+		W:            *w,
+		Alpha:        *alpha,
+		Tproc:        10 * time.Microsecond,
+		Seed:         *seed,
+		Horizon:      *horizon,
+	}
+
+	var protoList []bench.Protocol
+	for _, p := range strings.Split(*protos, ",") {
+		switch strings.TrimSpace(p) {
+		case "lams":
+			protoList = append(protoList, bench.LAMS)
+		case "srhdlc":
+			protoList = append(protoList, bench.SRHDLC)
+		case "gbn":
+			protoList = append(protoList, bench.GBNHDLC)
+		default:
+			fatal("unknown protocol %q", p)
+		}
+	}
+
+	fmt.Println("param,value,protocol,delivered,lost,duplicates,elapsed_s,efficiency,s_bar,retx,mean_holding_s,mean_delay_s,sendbuf_mean,recoveries,failures")
+	for _, vs := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+		if err != nil {
+			fatal("bad value %q: %v", vs, err)
+		}
+		c := base
+		applyErrors(&c, *ber, *pf, *pc)
+		switch *param {
+		case "ber":
+			applyErrors(&c, v, -1, -1)
+		case "pf":
+			applyErrors(&c, 0, v, maxf(*pc, v/4))
+		case "km":
+			c.OneWay = orbit.PropagationDelay(v * 1e3)
+			c.Alpha = c.OneWay
+		case "n":
+			c.N = int(v)
+		case "icp":
+			c.Icp = time.Duration(v * float64(time.Millisecond))
+		case "cdepth":
+			c.Cdepth = int(v)
+		case "w":
+			c.W = int(v)
+		case "alpha":
+			c.Alpha = time.Duration(v * float64(time.Millisecond))
+		case "payload":
+			c.PayloadBytes = int(v)
+		default:
+			fatal("unknown parameter %q", *param)
+		}
+		for _, proto := range protoList {
+			c.Protocol = proto
+			res := bench.Run(c)
+			fmt.Printf("%s,%s,%s,%d,%d,%d,%.6f,%.5f,%.4f,%d,%.6f,%.6f,%.1f,%d,%d\n",
+				*param, vs, proto,
+				res.Delivered, res.Lost, res.Duplicates,
+				res.Elapsed.Seconds(), res.Efficiency, res.TransPerFrame,
+				res.Retransmissions, res.MeanHolding.Seconds(), res.MeanDelay.Seconds(),
+				res.SendBufMean, res.Recoveries, res.Failures)
+		}
+	}
+}
+
+// applyErrors installs error models: fixed P_F/P_C when pf >= 0, otherwise
+// BER through the link FEC stack, otherwise a perfect channel.
+func applyErrors(c *bench.RunConfig, ber, pf, pc float64) {
+	switch {
+	case pf >= 0:
+		if pc < 0 {
+			pc = 0
+		}
+		c.IModel = channel.FixedProb{P: pf}
+		c.CModel = channel.FixedProb{P: pc}
+	case ber > 0:
+		c.IModel = channel.BSC{BER: ber, Scheme: fec.Hamming74}
+		c.CModel = channel.BSC{BER: ber, Scheme: fec.Repetition3}
+	default:
+		c.IModel = nil
+		c.CModel = nil
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lamsweep: "+format+"\n", args...)
+	os.Exit(2)
+}

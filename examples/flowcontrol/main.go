@@ -1,0 +1,58 @@
+// Flowcontrol: §3.4's Stop-Go mechanism in action. The receiver's
+// processing is deliberately slower than the wire, with a small receive
+// buffer. Watch the receiver assert the Stop-Go bit, the sender walk its
+// rate down multiplicatively, overflow discards get NAKed and retransmitted
+// (so nothing is lost), and the rate recover when the burst ends.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	lams "repro"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	link := lams.LinkParams{RateBps: 300e6, DistanceKm: 2000}
+	cfg := lams.DefaultsFor(link)
+	cfg.CheckpointInterval = 5 * time.Millisecond
+	cfg.RecvBufferCap = 32
+	cfg.ProcTime = 100 * time.Microsecond // ~3.6x slower than the wire
+
+	simu := lams.NewSimulation(5)
+	l := simu.NewLink(link)
+	delivered := 0
+	pair := simu.NewLAMSPair(l, cfg, func(_ lams.Time, dg lams.Datagram, _ uint32) {
+		delivered++
+	}, nil)
+
+	// A 300 ms on / 200 ms off bursty source at full wire rate.
+	const payload = 1024
+	interval := sim.Duration(float64((payload+21)*8) / link.RateBps * float64(sim.Second))
+	gen := workload.NewOnOff(simu.Scheduler(), pair.Sender.Enqueue,
+		interval, 300*time.Millisecond, 200*time.Millisecond, payload, -1)
+
+	fmt.Println("t        delivered  rate   stop-go  recvQ  dropped  retx")
+	for step := 0; step < 20; step++ {
+		simu.RunFor(50 * time.Millisecond)
+		m := pair.Metrics
+		fmt.Printf("%-8v %-10d %-6.3f %-8v %-6d %-8d %d\n",
+			simu.Now(), delivered, pair.Sender.RateFraction(),
+			pair.Receiver.StopGoAsserted(), pair.Receiver.QueueLen(),
+			m.RecvDropped.Value(), m.Retransmissions.Value())
+	}
+	gen.Stop()
+	simu.RunFor(5 * time.Second)
+
+	m := pair.Metrics
+	fmt.Printf("\nsubmitted=%d delivered=%d — every accepted datagram arrived (zero loss)\n",
+		m.Submitted.Value(), delivered)
+	fmt.Printf("flow control: %d rate adjustments; receiver discarded %d overflowing frames,\n",
+		m.RateChanges.Value(), m.RecvDropped.Value())
+	fmt.Printf("all recovered via checkpoint NAKs (%d retransmissions)\n", m.Retransmissions.Value())
+	if uint64(delivered) != m.Submitted.Value() {
+		fmt.Println("!! datagrams missing")
+	}
+}

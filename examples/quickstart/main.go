@@ -1,0 +1,94 @@
+// Quickstart: move 2,000 datagrams across a simulated 4,000 km laser
+// crosslink with LAMS-DLC, then run the identical transfer with SR-HDLC,
+// and print what the paper's abstract promises — the NAK-based protocol
+// keeps the pipe full while the positive-ack baseline stalls every window.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	lams "repro"
+)
+
+func main() {
+	link := lams.LinkParams{
+		RateBps:    300e6, // 300 Mbps laser crosslink
+		DistanceKm: 4000,
+		BER:        1e-6, // post-interleaving channel BER
+	}
+	const (
+		n       = 2000
+		payload = 1024
+	)
+
+	fmt.Printf("link: 300 Mbps, 4000 km (one-way %v), BER 1e-6\n", link.OneWay())
+	fmt.Printf("transfer: %d datagrams x %d B\n\n", n, payload)
+
+	type outcome struct {
+		name      string
+		delivered int
+		elapsed   time.Duration
+		eff       float64
+		retx      uint64
+	}
+	var results []outcome
+
+	// --- LAMS-DLC ---------------------------------------------------------
+	{
+		simu := lams.NewSimulation(1)
+		l := simu.NewLink(link)
+		delivered := 0
+		var last lams.Time
+		pair := simu.NewLAMSPair(l, lams.DefaultsFor(link), func(now lams.Time, dg lams.Datagram, _ uint32) {
+			delivered++
+			last = now
+		}, nil)
+		for i := 0; i < n; i++ {
+			pair.Sender.Enqueue(lams.Datagram{ID: uint64(i), Payload: make([]byte, payload)})
+		}
+		simu.RunFor(time.Minute)
+		results = append(results, outcome{
+			name:      "LAMS-DLC",
+			delivered: delivered,
+			elapsed:   time.Duration(last),
+			eff:       float64(delivered*payload*8) / (link.RateBps * time.Duration(last).Seconds()),
+			retx:      pair.Metrics.Retransmissions.Value(),
+		})
+	}
+
+	// --- SR-HDLC baseline --------------------------------------------------
+	{
+		simu := lams.NewSimulation(1)
+		l := simu.NewLink(link)
+		delivered := 0
+		var last lams.Time
+		pair := simu.NewHDLCPair(l, lams.HDLCDefaultsFor(link), func(now lams.Time, dg lams.Datagram, _ uint32) {
+			delivered++
+			last = now
+		})
+		for i := 0; i < n; i++ {
+			pair.Sender.Enqueue(lams.Datagram{ID: uint64(i), Payload: make([]byte, payload)})
+		}
+		simu.RunFor(time.Minute)
+		results = append(results, outcome{
+			name:      "SR-HDLC",
+			delivered: delivered,
+			elapsed:   time.Duration(last),
+			eff:       float64(delivered*payload*8) / (link.RateBps * time.Duration(last).Seconds()),
+			retx:      pair.Metrics.Retransmissions.Value(),
+		})
+	}
+
+	for _, r := range results {
+		fmt.Printf("%-9s delivered %d/%d in %v  efficiency %.3f  retransmissions %d\n",
+			r.name, r.delivered, n, r.elapsed.Round(time.Microsecond), r.eff, r.retx)
+	}
+	fmt.Printf("\nspeedup: LAMS-DLC finishes %.1fx faster than SR-HDLC on this link\n",
+		results[1].elapsed.Seconds()/results[0].elapsed.Seconds())
+
+	// The paper's closed forms for the same scenario.
+	p := lams.AnalysisFor(link, lams.DefaultsFor(link), payload, 64, 13*time.Millisecond)
+	fmt.Printf("analysis: eta_LAMS=%.3f eta_HDLC=%.3f at N=%d (Section 4 model)\n",
+		p.EtaLAMS(n), p.EtaHDLC(n, 0), n)
+}

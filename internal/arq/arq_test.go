@@ -1,0 +1,75 @@
+package arq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMetricsNoteDelivery(t *testing.T) {
+	var m Metrics
+	dg := Datagram{ID: 1, Payload: make([]byte, 125), EnqueuedAt: sim.Time(0)}
+	m.NoteDelivery(sim.Time(sim.Second), dg)
+	if m.Delivered.Value() != 1 {
+		t.Fatal("delivered count")
+	}
+	if m.DeliveredBits.Value() != 1000 {
+		t.Fatalf("bits = %d", m.DeliveredBits.Value())
+	}
+	if m.FirstDelivery != sim.Time(sim.Second) || m.LastDelivery != m.FirstDelivery {
+		t.Fatal("delivery timestamps")
+	}
+	if m.DeliveryDelay.Mean() != float64(sim.Second) {
+		t.Fatalf("delay mean = %v", m.DeliveryDelay.Mean())
+	}
+	m.NoteDelivery(sim.Time(2*sim.Second), Datagram{ID: 2, EnqueuedAt: sim.Time(sim.Second)})
+	if m.FirstDelivery != sim.Time(sim.Second) {
+		t.Fatal("first delivery moved")
+	}
+	if m.LastDelivery != sim.Time(2*sim.Second) {
+		t.Fatal("last delivery not updated")
+	}
+}
+
+func TestMetricsThroughputAndEfficiency(t *testing.T) {
+	var m Metrics
+	m.NoteDelivery(sim.Time(sim.Second), Datagram{Payload: make([]byte, 12500)}) // 1e5 bits
+	tp := m.Throughput(0, sim.Time(sim.Second))
+	if tp != 1e5 {
+		t.Fatalf("throughput = %v", tp)
+	}
+	if eff := m.Efficiency(0, sim.Time(sim.Second), 1e6); eff != 0.1 {
+		t.Fatalf("efficiency = %v", eff)
+	}
+	if m.Throughput(sim.Time(sim.Second), sim.Time(sim.Second)) != 0 {
+		t.Fatal("empty window throughput should be 0")
+	}
+	if m.Efficiency(0, sim.Time(sim.Second), 0) != 0 {
+		t.Fatal("zero rate efficiency should be 0")
+	}
+}
+
+func TestMetricsSummaryAndHolding(t *testing.T) {
+	var m Metrics
+	m.HoldingTime.Add(float64(10 * sim.Millisecond))
+	m.HoldingTime.Add(float64(20 * sim.Millisecond))
+	if got := m.MeanHoldingTime(); got != 15*sim.Millisecond {
+		t.Fatalf("mean holding = %v", got)
+	}
+	if s := m.Summary(); !strings.Contains(s, "submitted=0") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := (Timing{RoundTrip: sim.Second, ProcTime: sim.Microsecond}).Validate(); err != nil {
+		t.Fatalf("valid timing rejected: %v", err)
+	}
+	if err := (Timing{RoundTrip: -1}).Validate(); err == nil {
+		t.Fatal("negative round trip accepted")
+	}
+	if err := (Timing{ProcTime: -1}).Validate(); err == nil {
+		t.Fatal("negative proc time accepted")
+	}
+}

@@ -1,0 +1,866 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/fec"
+	"repro/internal/lamsdlc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Base returns the canonical scenario of the paper's environment: a
+// 4,000 km laser crosslink at 300 Mbps with 1 KiB I-frames, checkpointed
+// every 10 ms at depth 3, against SR-HDLC with a 64-frame window and
+// α = R/2 of timeout slack.
+func Base() RunConfig {
+	return RunConfig{
+		Protocol:     LAMS,
+		N:            2000,
+		PayloadBytes: 1024,
+		RateBps:      300e6,
+		OneWay:       13340 * sim.Microsecond, // 4,000 km
+		Icp:          10 * sim.Millisecond,
+		Cdepth:       3,
+		W:            64,
+		Alpha:        13 * sim.Millisecond,
+		Tproc:        10 * sim.Microsecond, // < t_f: the receive buffer stays transparent (§3.4)
+		Seed:         1,
+	}
+}
+
+// withErrors sets FixedProb error models.
+func withErrors(c RunConfig, pf, pc float64) RunConfig {
+	c.IModel = channel.FixedProb{P: pf}
+	c.CModel = channel.FixedProb{P: pc}
+	return c
+}
+
+// E1MeanPeriods regenerates the s̄ comparison: the mean number of
+// transmissions per delivered I-frame for LAMS-DLC vs SR-HDLC, swept over
+// the I-frame error probability, against the closed forms
+// s̄_LAMS = 1/(1−P_F) and s̄_HDLC = 1/(1−(P_F+P_C−P_F·P_C)).
+func E1MeanPeriods() *Result {
+	r := &Result{
+		ID:    "E1",
+		Title: "mean transmissions per I-frame (s̄): NAK-only vs pos-ack ARQ",
+		Table: stats.NewTable("", "P_F", "P_C", "s_LAMS(anal)", "s_LAMS(sim)", "s_HDLC(anal)", "s_HDLC(sim)"),
+	}
+	pcOf := func(pf float64) float64 { return pf / 4 } // piggyback-free control channel
+	okShape := true
+	okMatch := true
+	for _, pf := range []float64{0.02, 0.05, 0.1, 0.2, 0.3} {
+		pc := pcOf(pf)
+		cl := withErrors(Base(), pf, pc)
+		cl.N = 3000
+		lams := Run(cl)
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+		p := cl.Analytical()
+		r.Table.AddRowf(pf, pc, p.SBarLAMS(), lams.TransPerFrame, p.SBarHDLC(), hd.TransPerFrame)
+		// Simulated HDLC acknowledges cumulatively, so its empirical s̄ is
+		// a hair above LAMS rather than the model's full product form;
+		// require the weak ordering in sim and the strict one analytically.
+		if hd.TransPerFrame < lams.TransPerFrame-0.005 || p.SBarHDLC() <= p.SBarLAMS() {
+			okShape = false
+		}
+		if !near(lams.TransPerFrame, p.SBarLAMS(), 0.06) {
+			okMatch = false
+		}
+	}
+	r.check("pos-ack retransmits more", okShape,
+		"s̄_HDLC ≥ s̄_LAMS in simulation and strictly more in the model")
+	r.check("LAMS matches 1/(1-P_F)", okMatch,
+		"simulated s̄_LAMS within 6%% of the closed form")
+	r.Notes = append(r.Notes,
+		"the implemented SR-HDLC acknowledges cumulatively (one RR per window), so a lost ack",
+		"rarely forces a retransmission; the model's per-frame-ack assumption makes the printed",
+		"s̄_HDLC an upper bound. The gap the paper cares about reappears as window stall in E4/E6.")
+	return r
+}
+
+// E2LowTrafficDelay regenerates the low-traffic D_low(N) comparison: total
+// time to safely deliver N I-frames, analysis vs simulation, LAMS vs HDLC.
+func E2LowTrafficDelay() *Result {
+	r := &Result{
+		ID:    "E2",
+		Title: "low-traffic delivery time D_low(N)",
+		Table: stats.NewTable("", "N", "LAMS anal", "LAMS sim", "HDLC anal", "HDLC sim"),
+	}
+	sLams := &stats.Series{Label: "lams"}
+	sHdlc := &stats.Series{Label: "hdlc"}
+	pf, pc := 0.05, 0.01
+	for _, n := range []int{8, 16, 32, 48, 64} {
+		cl := withErrors(Base(), pf, pc)
+		cl.N = n
+		lams := Run(cl)
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+		p := cl.Analytical()
+		r.Table.AddRow(fmt.Sprint(n),
+			fmtDur(analysis.Dur(p.DLowLAMS(n))), fmtDur(lams.Elapsed),
+			fmtDur(analysis.Dur(p.DLowHDLC(n, analysis.PaperPrinted))), fmtDur(hd.Elapsed))
+		sLams.Add(float64(n), lams.Elapsed.Seconds())
+		sHdlc.Add(float64(n), hd.Elapsed.Seconds())
+	}
+	r.Series = []*stats.Series{sLams, sHdlc}
+	r.check("delay grows with N", sLams.Monotone(1, 0.02) && sHdlc.Monotone(1, 0.02),
+		"both protocols' D_low increase with N")
+	// §4's verdict at low traffic: "nearly equivalent if s̄_LAMS equals
+	// s̄_HDLC and α is small", but α >> n̄_cp in a highly mobile network
+	// tips it to LAMS. Check both regimes on the model, and that the
+	// simulation lands within 2x of its analysis column.
+	pSmall := withErrors(Base(), pf, pc).Analytical()
+	if !near(pSmall.DLowLAMS(64), pSmall.DLowHDLC(64, analysis.PaperPrinted), 0.35) {
+		r.check("small-α regime nearly equivalent", false,
+			"D_low differs by more than 35%% at α=R/2")
+	} else {
+		r.check("small-α regime nearly equivalent", true,
+			"LAMS %.4gs vs HDLC %.4gs", pSmall.DLowLAMS(64), pSmall.DLowHDLC(64, analysis.PaperPrinted))
+	}
+	pBig := pSmall
+	pBig.Alpha = 0.5 // a highly mobile constellation
+	r.check("large-α regime favours LAMS", pBig.DLowHDLC(64, analysis.PaperPrinted) > pBig.DLowLAMS(64),
+		"at α=500ms: HDLC %.4gs vs LAMS %.4gs", pBig.DLowHDLC(64, analysis.PaperPrinted), pBig.DLowLAMS(64))
+	okClose := true
+	for i, pt := range sLams.Points {
+		n := int(pt.X)
+		if pt.Y > 2*pSmall.DLowLAMS(n) || sHdlc.Points[i].Y > 2*pSmall.DLowHDLC(n, analysis.PaperPrinted) {
+			okClose = false
+		}
+	}
+	r.check("simulation tracks the model", okClose, "sim delays within 2x of the closed forms")
+	return r
+}
+
+// E3HoldingAndBuffer regenerates the holding-time and transparent-buffer
+// table: mean sender holding time H_frame and buffer occupancy for
+// LAMS-DLC (finite, ≈ B_LAMS) vs SR-HDLC (backlog grows without bound
+// under sustained arrivals).
+func E3HoldingAndBuffer() *Result {
+	r := &Result{
+		ID:    "E3",
+		Title: "holding time H_frame and transparent buffer size B_LAMS",
+		Table: stats.NewTable("", "P_F", "H anal", "H sim", "B_LAMS anal", "sbuf sim(max)", "HDLC backlog@end"),
+	}
+	okHold := true
+	okBuf := true
+	okHdlc := false
+	for _, pf := range []float64{0.01, 0.05, 0.1, 0.2} {
+		cl := withErrors(Base(), pf, pf/4)
+		p := cl.Analytical()
+
+		// Both protocols under the §4 buffer model: sustained arrivals
+		// just inside LAMS-DLC's sustainable rate 1/(s̄·t_f) — the wire
+		// must carry s̄ transmissions per delivered frame, so offering at
+		// the raw 1/t_f of the paper's idealized deterministic model
+		// would overload any ARQ. LAMS's occupancy must stabilize near
+		// B_LAMS; the SR-HDLC backlog accumulates without bound because
+		// every window turn wastes a round trip.
+		cl.N = 80000
+		cl.OfferInterval = sim.Duration(1.1 * p.SBarLAMS() * p.Tf * float64(sim.Second))
+		cl.Horizon = 2 * sim.Second
+		lams := Run(cl)
+
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+
+		r.Table.AddRow(fmt.Sprint(pf),
+			fmtDur(analysis.Dur(p.HFrameLAMS())), fmtDur(lams.MeanHolding),
+			fmt.Sprintf("%.0f", p.BLAMS()), fmt.Sprintf("%.0f", lams.SendBufMax),
+			fmt.Sprint(hd.FinalBacklog))
+		if !near(float64(lams.MeanHolding), p.HFrameLAMS()*float64(sim.Second), 0.25) {
+			okHold = false
+		}
+		if lams.SendBufMax > 3*p.BLAMS() {
+			okBuf = false
+		}
+		if hd.FinalBacklog > 4*cl.W {
+			okHdlc = true // backlog clearly outgrew the window at least once
+		}
+	}
+	r.check("holding matches s̄(R+t_f+t_c+t_proc+(n̄cp−½)I_cp)", okHold,
+		"simulated mean holding within 25%% of H_frame")
+	r.check("LAMS buffer transparent", okBuf,
+		"sender occupancy bounded by ~B_LAMS under saturation")
+	r.check("HDLC buffer diverges", okHdlc,
+		"SR-HDLC backlog grows far beyond its window under 1/t_f arrivals")
+	return r
+}
+
+// E4ThroughputVsTraffic regenerates the headline figure: throughput
+// efficiency η as channel traffic N grows, LAMS-DLC vs SR-HDLC, analysis
+// and simulation.
+func E4ThroughputVsTraffic() *Result {
+	r := &Result{
+		ID:    "E4",
+		Title: "throughput efficiency η vs channel traffic N (high traffic)",
+		Table: stats.NewTable("", "N", "η_LAMS anal", "η_LAMS sim", "η_HDLC anal", "η_HDLC sim", "gain sim"),
+	}
+	sL := &stats.Series{Label: "lams-sim"}
+	sH := &stats.Series{Label: "hdlc-sim"}
+	pf, pc := 0.05, 0.0125
+	for _, n := range []int{250, 500, 1000, 2000, 4000, 8000} {
+		cl := withErrors(Base(), pf, pc)
+		cl.N = n
+		lams := Run(cl)
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+		p := cl.Analytical()
+		r.Table.AddRow(fmt.Sprint(n),
+			fmt.Sprintf("%.3f", p.EtaLAMS(n)), fmt.Sprintf("%.3f", lams.Efficiency),
+			fmt.Sprintf("%.3f", p.EtaHDLC(n, analysis.PaperPrinted)), fmt.Sprintf("%.3f", hd.Efficiency),
+			fmtRatio(lams.Efficiency, hd.Efficiency))
+		sL.Add(float64(n), lams.Efficiency)
+		sH.Add(float64(n), hd.Efficiency)
+	}
+	r.Series = []*stats.Series{sL, sH}
+	r.check("η_LAMS rises with N", sL.Monotone(1, 0.03),
+		"efficiency amortizes s̄R + δ as N grows")
+	okWin := true
+	for i := range sL.Points {
+		if sL.Points[i].Y <= sH.Points[i].Y {
+			okWin = false
+		}
+	}
+	r.check("LAMS wins at every N", okWin, "η_LAMS(sim) > η_HDLC(sim) throughout")
+	last := len(sL.Points) - 1
+	r.check("the gap is large", sL.Points[last].Y > 3*sH.Points[last].Y,
+		"η_LAMS %.3f vs η_HDLC %.3f at N=8000 (window-stall dominated)",
+		sL.Points[last].Y, sH.Points[last].Y)
+	return r
+}
+
+// E5ThroughputVsBER regenerates the η-vs-BER figure with FEC-derived frame
+// error probabilities: I-frames on Hamming(7,4), control frames on the
+// stronger repetition code (assumption 4).
+func E5ThroughputVsBER() *Result {
+	r := &Result{
+		ID:    "E5",
+		Title: "throughput efficiency η vs channel BER (FEC-derived P_F, P_C)",
+		Table: stats.NewTable("", "BER", "P_F", "P_C", "η_LAMS sim", "η_HDLC sim", "gain"),
+	}
+	sL := &stats.Series{Label: "lams"}
+	sH := &stats.Series{Label: "hdlc"}
+	base := Base()
+	frameBits := (base.PayloadBytes + 21) * 8
+	ctrlBits := 20 * 8
+	for _, ber := range []float64{1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 2e-3} {
+		pf := fec.Hamming74.FrameErrorProb(ber, frameBits)
+		pc := fec.Repetition3.FrameErrorProb(ber, ctrlBits)
+		cl := withErrors(base, pf, pc)
+		cl.N = 2000
+		lams := Run(cl)
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+		r.Table.AddRow(fmt.Sprintf("%.0e", ber),
+			fmt.Sprintf("%.2e", pf), fmt.Sprintf("%.2e", pc),
+			fmt.Sprintf("%.3f", lams.Efficiency), fmt.Sprintf("%.3f", hd.Efficiency),
+			fmtRatio(lams.Efficiency, hd.Efficiency))
+		sL.Add(ber, lams.Efficiency)
+		sH.Add(ber, hd.Efficiency)
+	}
+	r.Series = []*stats.Series{sL, sH}
+	r.check("η degrades with BER", sL.Monotone(-1, 0.03),
+		"LAMS efficiency falls as the channel worsens")
+	okWin := true
+	for i := range sL.Points {
+		if sL.Points[i].Y <= sH.Points[i].Y {
+			okWin = false
+		}
+	}
+	r.check("LAMS wins across the BER range", okWin, "η_LAMS > η_HDLC at every BER")
+	return r
+}
+
+// E6ThroughputVsDistance regenerates the η-vs-link-distance figure across
+// the paper's 2,000–10,000 km range, with α tied to R (mobile
+// constellation).
+func E6ThroughputVsDistance() *Result {
+	r := &Result{
+		ID:    "E6",
+		Title: "throughput efficiency η vs link distance (2,000–10,000 km)",
+		Table: stats.NewTable("", "km", "R", "η_LAMS sim", "η_HDLC sim", "gain"),
+	}
+	sL := &stats.Series{Label: "lams"}
+	sH := &stats.Series{Label: "hdlc"}
+	for _, km := range []float64{2000, 4000, 6000, 8000, 10000} {
+		oneWay := sim.Duration(km * 1e3 / 2.99792458e8 * float64(sim.Second))
+		cl := withErrors(Base(), 0.05, 0.0125)
+		cl.OneWay = oneWay
+		cl.Alpha = oneWay // α = R/2
+		cl.N = 2000
+		lams := Run(cl)
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+		r.Table.AddRow(fmt.Sprint(km), fmtDur(2*oneWay),
+			fmt.Sprintf("%.3f", lams.Efficiency), fmt.Sprintf("%.3f", hd.Efficiency),
+			fmtRatio(lams.Efficiency, hd.Efficiency))
+		sL.Add(km, lams.Efficiency)
+		sH.Add(km, hd.Efficiency)
+	}
+	r.Series = []*stats.Series{sL, sH}
+	r.check("HDLC degrades with distance", sH.Monotone(-1, 0.03),
+		"window stall grows with R")
+	gainFirst := sL.Points[0].Y / sH.Points[0].Y
+	gainLast := sL.Points[len(sL.Points)-1].Y / sH.Points[len(sH.Points)-1].Y
+	r.check("LAMS advantage grows with distance", gainLast > gainFirst,
+		"gain %.1fx at 2,000 km vs %.1fx at 10,000 km", gainFirst, gainLast)
+	return r
+}
+
+// E7BurstResilience regenerates the §3.3 burst-error claim: cumulative
+// NAKs ride out bursts shorter than C_depth·W_cp without resynchronization,
+// where an event-based pos-ack scheme loses a window.
+func E7BurstResilience() *Result {
+	r := &Result{
+		ID:    "E7",
+		Title: "burst errors: cumulative NAK vs C_depth·W_cp (30ms here)",
+		Table: stats.NewTable("", "burst", "vs CdWcp", "LAMS dlv", "dup", "LAMS η", "recoveries", "HDLC dlv", "HDLC η"),
+	}
+	base := Base()
+	cdwcp := sim.Scale(base.Icp, base.Cdepth)
+	okShort := true
+	okNoRecovery := true
+	okLoss := true
+	for _, burst := range []sim.Duration{5 * sim.Millisecond, 15 * sim.Millisecond, 25 * sim.Millisecond, 60 * sim.Millisecond} {
+		mk := func() channel.BurstTrain {
+			return channel.BurstTrain{
+				Period:   250 * sim.Millisecond,
+				BurstLen: burst,
+				Offset:   40 * sim.Millisecond,
+				BaseBER:  1e-7,
+			}
+		}
+		cl := Base()
+		cl.N = 3000
+		cl.IModel = mk()
+		cl.CModel = mk()
+		lams := Run(cl)
+		ch := cl
+		ch.Protocol = SRHDLC
+		hd := Run(ch)
+		rel := "<"
+		if burst > cdwcp {
+			rel = ">"
+		}
+		r.Table.AddRow(fmtDur(burst), rel,
+			fmt.Sprint(cl.N-lams.Lost), fmt.Sprint(lams.Duplicates),
+			fmt.Sprintf("%.3f", lams.Efficiency), fmt.Sprint(lams.Recoveries),
+			fmt.Sprint(uint64(ch.N)-uint64(hd.Lost)), fmt.Sprintf("%.3f", hd.Efficiency))
+		if lams.Lost > 0 || hd.Lost > 0 {
+			okLoss = false
+		}
+		if burst < cdwcp && lams.Failures > 0 {
+			okShort = false
+		}
+		if burst < cdwcp && lams.Recoveries > 0 {
+			okNoRecovery = false
+		}
+	}
+	r.check("zero loss through every burst", okLoss,
+		"all datagrams delivered regardless of burst length")
+	r.check("short bursts never trigger enforced recovery", okNoRecovery,
+		"cumulative NAKs absorb bursts < C_depth*W_cp without resynchronization (§3.3)")
+	r.check("short bursts never simulate link failure", okShort,
+		"no failure declarations for bursts < C_depth*W_cp")
+	return r
+}
+
+// E8FailureDetection regenerates the inconsistency-gap / failure-detection
+// bound: the time from killing the link to the sender declaring failure,
+// swept over C_depth, against the expected response + C_depth·W_cp bound.
+func E8FailureDetection() *Result {
+	r := &Result{
+		ID:    "E8",
+		Title: "link-failure detection latency vs C_depth",
+		Table: stats.NewTable("", "C_depth", "bound", "detected", "within"),
+	}
+	okBound := true
+	okMono := true
+	prev := sim.Duration(0)
+	for _, cd := range []int{1, 2, 3, 5, 8} {
+		base := Base()
+		cfg := base.lamsConfig()
+		cfg.CumulationDepth = cd
+		sched := sim.NewScheduler()
+		link := channel.NewLink(sched, base.pipe(), sim.NewRNG(7))
+		var failedAt sim.Time
+		pair := lamsdlc.NewPair(sched, link, cfg, nil, func(now sim.Time, _ string) { failedAt = now })
+		pair.Start()
+		for i := 0; i < 50; i++ {
+			pair.Sender.Enqueue(arq.Datagram{ID: uint64(i), Payload: make([]byte, 512)})
+		}
+		sched.RunFor(300 * sim.Millisecond)
+		killAt := sched.Now()
+		link.Fail()
+		sched.RunFor(10 * sim.Second)
+		detect := failedAt.Sub(killAt)
+		// Bound: the armed checkpoint timer (C_depth·W_cp plus phase
+		// grace, plus one interval of phase) then the failure timer
+		// (response + C_depth·W_cp).
+		bound := cfg.CheckpointTimerTimeout() + cfg.CheckpointInterval + cfg.FailureTimeout()
+		within := failedAt != 0 && detect <= bound
+		r.Table.AddRow(fmt.Sprint(cd), fmtDur(bound), fmtDur(detect), fmt.Sprint(within))
+		if !within {
+			okBound = false
+		}
+		if detect < prev {
+			okMono = false
+		}
+		prev = detect
+	}
+	r.check("detection within the §3.2 bound", okBound,
+		"declared within C_depth·W_cp + (response + C_depth·W_cp)")
+	r.check("latency grows with C_depth", okMono,
+		"deeper cumulation trades detection speed for burst immunity")
+	return r
+}
+
+// E9FlowControl regenerates the §3.4 Stop-Go experiment: a receiver slower
+// than the wire, swept over its buffer capacity.
+func E9FlowControl() *Result {
+	r := &Result{
+		ID:    "E9",
+		Title: "Stop-Go flow control with an overloaded receiver",
+		Table: stats.NewTable("", "recvCap", "delivered", "dropped", "rateChanges", "finalRate", "lost"),
+	}
+	okLoss := true
+	okEngaged := true
+	for _, cap := range []int{8, 16, 32, 64} {
+		cl := Base()
+		cl.N = 1500
+		cl.RecvCap = cap
+		cl.Tproc = 150 * sim.Microsecond // ~5× the frame time: receiver-bound
+		cl.Horizon = 5 * sim.Minute
+		res := Run(cl)
+		r.Table.AddRow(fmt.Sprint(cap), fmt.Sprint(res.Delivered),
+			fmt.Sprint(res.RecvDropped), fmt.Sprint(res.RateChanges),
+			fmt.Sprintf("%.3f", res.FinalRate), fmt.Sprint(res.Lost))
+		if res.Lost > 0 {
+			okLoss = false
+		}
+		if res.RateChanges == 0 {
+			okEngaged = false
+		}
+	}
+	r.check("overflow discards never lose data", okLoss,
+		"discarded frames are NAKed and retransmitted; zero datagram loss")
+	r.check("Stop-Go engages", okEngaged,
+		"the sender adjusted its rate under receiver overload")
+	return r
+}
+
+// E10NumberingSize regenerates the §2.3/§3.3 numbering-size bound: the
+// widest span of simultaneously live sequence numbers stays within the
+// resolving period divided by t_f.
+func E10NumberingSize() *Result {
+	r := &Result{
+		ID:    "E10",
+		Title: "bounded numbering: live sequence span vs resolving-period bound",
+		Table: stats.NewTable("", "P_F", "I_cp", "bound(frames)", "max span sim", "within"),
+	}
+	ok := true
+	for _, pf := range []float64{0.02, 0.1, 0.25} {
+		for _, icp := range []sim.Duration{5 * sim.Millisecond, 10 * sim.Millisecond, 20 * sim.Millisecond} {
+			cl := withErrors(Base(), pf, pf/4)
+			cl.N = 4000
+			cl.Icp = icp
+			res := Run(cl)
+			p := cl.Analytical()
+			// The analytical bound assumes the sender is never idle; add
+			// the holding-time inflation factor s̄ for the sweep's worst
+			// case.
+			bound := p.NumberingSizeLAMS() * p.SBarLAMS()
+			within := float64(res.MaxLiveSpan) <= bound
+			r.Table.AddRow(fmt.Sprint(pf), fmtDur(icp),
+				fmt.Sprintf("%.0f", bound), fmt.Sprint(res.MaxLiveSpan), fmt.Sprint(within))
+			if !within {
+				ok = false
+			}
+		}
+	}
+	r.check("numbering size bounded", ok,
+		"live span ≤ s̄·(R + ½I_cp + C_depth·I_cp)/t_f in every cell")
+	return r
+}
+
+// E11Validation cross-checks the simulator against the closed forms on a
+// grid: empirical s̄ vs 1/(1−P_F), holding time vs H_frame, and completion
+// time vs D_high^LAMS.
+func E11Validation() *Result {
+	r := &Result{
+		ID:    "E11",
+		Title: "simulation vs analysis validation grid (LAMS-DLC)",
+		Table: stats.NewTable("", "P_F", "P_C", "N", "s̄ anal/sim", "H anal/sim", "D anal/sim"),
+	}
+	okS, okH, okD := true, true, true
+	for _, pf := range []float64{0.02, 0.1, 0.2} {
+		for _, pc := range []float64{0.002, 0.02} {
+			n := 6000
+			cl := withErrors(Base(), pf, pc)
+			cl.N = n
+			res := Run(cl)
+			p := cl.Analytical()
+			sA, sS := p.SBarLAMS(), res.TransPerFrame
+			hA := p.HFrameLAMS() * float64(sim.Second)
+			hS := float64(res.MeanHolding)
+			dA := p.DHighLAMS(n) * float64(sim.Second)
+			dS := float64(res.Elapsed)
+			r.Table.AddRow(fmt.Sprint(pf), fmt.Sprint(pc), fmt.Sprint(n),
+				fmt.Sprintf("%.3f/%.3f", sA, sS),
+				fmt.Sprintf("%s/%s", fmtDur(sim.Duration(hA)), fmtDur(sim.Duration(hS))),
+				fmt.Sprintf("%s/%s", fmtDur(sim.Duration(dA)), fmtDur(sim.Duration(dS))))
+			if !near(sA, sS, 0.05) {
+				okS = false
+			}
+			if !near(hA, hS, 0.25) {
+				okH = false
+			}
+			if !near(dA, dS, 0.30) {
+				okD = false
+			}
+		}
+	}
+	r.check("s̄ within 5%", okS, "transmissions per frame match the geometric model")
+	r.check("holding within 25%", okH, "H_frame matches (the model folds t_f queueing into one term)")
+	r.check("completion within 30%", okD,
+		"D_high matches (the model measures to release, the sim to delivery)")
+	return r
+}
+
+// E12VariantAblation re-evaluates the headline comparison under both
+// readings of the paper's D_retrn^HDLC formula (the printed coefficients
+// are swapped relative to its own derivation), showing the conclusions are
+// insensitive to the typo.
+func E12VariantAblation() *Result {
+	r := &Result{
+		ID:    "E12",
+		Title: "HDLC D_retrn variant ablation (paper typo)",
+		Table: stats.NewTable("", "P_F", "η_HDLC printed", "η_HDLC rederived", "η_LAMS", "LAMS wins both"),
+	}
+	ok := true
+	n := 4000
+	for _, pf := range []float64{0.02, 0.1, 0.25} {
+		cl := withErrors(Base(), pf, pf/4)
+		p := cl.Analytical()
+		printed := p.EtaHDLC(n, analysis.PaperPrinted)
+		rederived := p.EtaHDLC(n, analysis.Rederived)
+		lams := p.EtaLAMS(n)
+		wins := lams > printed && lams > rederived
+		r.Table.AddRow(fmt.Sprint(pf),
+			fmt.Sprintf("%.4f", printed), fmt.Sprintf("%.4f", rederived),
+			fmt.Sprintf("%.4f", lams), fmt.Sprint(wins))
+		if !wins {
+			ok = false
+		}
+	}
+	r.check("conclusion invariant to the typo", ok,
+		"η_LAMS exceeds η_HDLC under both variants at every P_F")
+	r.Notes = append(r.Notes,
+		"printed form: α weighted by (1−P_F)(1−P_C); re-derived: α weighted by 1−(1−P_F)(1−P_C)")
+	return r
+}
+
+// E13StutterAblation evaluates the Stutter/mixed-mode ARQ idea the paper's
+// §1 surveys (Stutter GBN, SR+ST of Miller & Lin): use the idle time of the
+// window-stalled SR sender to repeat unacknowledged frames. The experiment
+// sweeps the frame error probability and compares SR-HDLC with and without
+// stutter, and against LAMS-DLC (which has no idle time to harvest).
+func E13StutterAblation() *Result {
+	r := &Result{
+		ID:    "E13",
+		Title: "stutter (SR+ST) ablation: harvesting SR-HDLC's idle time",
+		Table: stats.NewTable("", "P_F", "η SR", "η SR+ST", "extra tx SR+ST", "η LAMS"),
+	}
+	okNotWorse := true
+	okStillLoses := true
+	for _, pf := range []float64{0.05, 0.15, 0.3} {
+		base := withErrors(Base(), pf, pf/4)
+		base.N = 1000
+		sr := base
+		sr.Protocol = SRHDLC
+		plain := Run(sr)
+		st := sr
+		st.Stutter = true
+		stuttered := Run(st)
+		lams := Run(base)
+		extra := float64(stuttered.Retransmissions) / float64(st.N)
+		r.Table.AddRow(fmt.Sprint(pf),
+			fmt.Sprintf("%.3f", plain.Efficiency),
+			fmt.Sprintf("%.3f", stuttered.Efficiency),
+			fmt.Sprintf("%.2f/frame", extra),
+			fmt.Sprintf("%.3f", lams.Efficiency))
+		if stuttered.Efficiency < plain.Efficiency*0.95 {
+			okNotWorse = false
+		}
+		if lams.Efficiency <= stuttered.Efficiency {
+			okStillLoses = false
+		}
+	}
+	r.check("stutter never hurts goodput", okNotWorse,
+		"repeats ride otherwise-idle capacity (≥95%% of plain SR at every P_F)")
+	r.check("stutter cannot close the gap to LAMS", okStillLoses,
+		"idle-time harvesting does not remove the window stall LAMS avoids")
+	r.Notes = append(r.Notes,
+		"stutter preempts timeout recovery: duplicates of damaged frames often arrive before the SREJ round trip completes")
+	return r
+}
+
+// E14HybridFECTradeoff regenerates the ARQ+FEC trade the paper's §1–2
+// survey frames (Type-I hybrid schemes): stronger codes pay a constant
+// code-rate tax on every frame but suppress retransmissions. Sweeping the
+// channel BER with LAMS-DLC under three I-frame codecs exposes the
+// crossover: below it, uncoded ARQ wins (retransmissions are rare anyway);
+// above it, the coded schemes win (the channel is too dirty for bare ARQ).
+func E14HybridFECTradeoff() *Result {
+	r := &Result{
+		ID:    "E14",
+		Title: "hybrid ARQ/FEC: code-rate tax vs retransmission savings (LAMS-DLC)",
+		Table: stats.NewTable("", "BER", "η uncoded", "η hamming(7,4)", "η repetition-3"),
+	}
+	type codec struct {
+		name   string
+		scheme fec.Scheme
+	}
+	codecs := []codec{
+		{"uncoded", fec.Uncoded},
+		{"hamming", fec.Hamming74},
+		{"rep3", fec.Repetition3},
+	}
+	series := map[string]*stats.Series{}
+	for _, c := range codecs {
+		series[c.name] = &stats.Series{Label: c.name}
+	}
+	bers := []float64{1e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3}
+	frameBits := (Base().PayloadBytes + 21) * 8
+	for _, ber := range bers {
+		row := []string{fmt.Sprintf("%.0e", ber)}
+		for _, c := range codecs {
+			cl := Base()
+			// Large N so the per-frame code-rate tax dominates the
+			// constant straggler-recovery tail; a tight horizon bounds
+			// the hopeless uncoded runs at high BER (they report 0).
+			cl.N = 5000
+			cl.Horizon = 20 * sim.Second
+			cl.IModel = channel.BSC{BER: ber, Scheme: c.scheme}
+			cl.CModel = channel.BSC{BER: ber, Scheme: fec.Repetition3}
+			cl.IExpansion = c.scheme.Overhead()
+			cl.CExpansion = fec.Repetition3.Overhead()
+			res := Run(cl)
+			eff := res.Efficiency
+			if res.Lost > 0 {
+				eff = 0 // could not complete within the horizon
+			}
+			row = append(row, fmt.Sprintf("%.3f", eff))
+			series[c.name].Add(ber, eff)
+		}
+		r.Table.AddRow(row...)
+	}
+	r.Series = []*stats.Series{series["uncoded"], series["hamming"], series["rep3"]}
+	// Shape: clean channel -> uncoded wins (no code-rate tax); dirty
+	// channel -> hamming overtakes uncoded.
+	un, ham := series["uncoded"], series["hamming"]
+	r.check("clean channel favours bare ARQ", un.Points[0].Y > ham.Points[0].Y,
+		"at BER %.0e: uncoded %.3f vs hamming %.3f", bers[0], un.Points[0].Y, ham.Points[0].Y)
+	last := len(bers) - 1
+	r.check("dirty channel favours coding", ham.Points[last].Y > un.Points[last].Y,
+		"at BER %.0e: hamming %.3f vs uncoded %.3f", bers[last], ham.Points[last].Y, un.Points[last].Y)
+	if x, ok := stats.Crossover(un, ham); ok {
+		r.Notes = append(r.Notes, fmt.Sprintf("uncoded/hamming crossover near BER %.1e", x))
+	}
+	r.check("frame size matters", frameBits > 0, "sanity")
+	return r
+}
+
+// E15InSequenceCost quantifies §2.3's reliability-constraint ladder on one
+// link: Go-Back-N (discard out-of-order, full in-sequence at the link),
+// Selective Repeat (hold out-of-order in a window-sized receive buffer),
+// and LAMS-DLC (forward immediately, resequence at the destination).
+func E15InSequenceCost() *Result {
+	r := &Result{
+		ID:    "E15",
+		Title: "the cost of in-sequence delivery: GBN vs SR vs LAMS-DLC",
+		Table: stats.NewTable("", "P_F", "η GBN", "η SR", "η LAMS", "GBN retx/frame", "SR rbuf(max)", "LAMS rbuf(max)"),
+	}
+	okLadder := true
+	okBuffers := true
+	for _, pf := range []float64{0.02, 0.1, 0.25} {
+		base := withErrors(Base(), pf, pf/4)
+		base.N = 1000
+		gbn := base
+		gbn.Protocol = GBNHDLC
+		g := Run(gbn)
+		sr := base
+		sr.Protocol = SRHDLC
+		s := Run(sr)
+		l := Run(base)
+		r.Table.AddRow(fmt.Sprint(pf),
+			fmt.Sprintf("%.3f", g.Efficiency), fmt.Sprintf("%.3f", s.Efficiency),
+			fmt.Sprintf("%.3f", l.Efficiency),
+			fmt.Sprintf("%.2f", float64(g.Retransmissions)/float64(base.N)),
+			fmt.Sprintf("%.0f", s.RecvBufMax), fmt.Sprintf("%.0f", l.RecvBufMax))
+		if !(g.Efficiency <= s.Efficiency*1.02 && s.Efficiency < l.Efficiency) {
+			okLadder = false
+		}
+		// SR must buffer out-of-order frames; LAMS's receive buffer stays
+		// transparent (only frames awaiting t_proc).
+		if s.RecvBufMax == 0 || l.RecvBufMax > s.RecvBufMax {
+			okBuffers = false
+		}
+	}
+	r.check("efficiency ladder η_GBN ≤ η_SR < η_LAMS", okLadder,
+		"each relaxation of the in-sequence constraint buys throughput")
+	r.check("receive-buffer ladder", okBuffers,
+		"SR holds a window of out-of-order frames; the LAMS receive buffer is transparent")
+	return r
+}
+
+// E16DelayThroughput regenerates the introduction's framing observation:
+// "there is a tradeoff point between high user throughput and low user
+// delay in end-to-end data transmission". Offered load sweeps from light to
+// near-saturation; mean enqueue-to-delivery delay and achieved goodput are
+// measured for LAMS-DLC with a transparent-sized sending buffer.
+func E16DelayThroughput() *Result {
+	r := &Result{
+		ID:    "E16",
+		Title: "delay vs throughput as offered load rises (LAMS-DLC)",
+		Table: stats.NewTable("", "load", "goodput (Mb/s)", "mean delay", "sendbuf(mean)"),
+	}
+	sDelay := &stats.Series{Label: "delay"}
+	sTput := &stats.Series{Label: "goodput"}
+	pf, pc := 0.05, 0.0125
+	base := withErrors(Base(), pf, pc)
+	p := base.Analytical()
+	// Sustainable inter-arrival: s̄·t_f.
+	sustain := p.SBarLAMS() * p.Tf
+	for _, load := range []float64{0.3, 0.6, 0.9, 1.0, 1.1} {
+		cl := base
+		cl.Poisson = true // stochastic arrivals expose queueing delay
+		cl.OfferInterval = sim.Duration(sustain / load * float64(sim.Second))
+		cl.N = int(2.0 / (sustain / load)) // ~2 virtual seconds of arrivals
+		cl.Horizon = sim.Minute
+		res := Run(cl)
+		goodput := res.Efficiency * cl.RateBps / 1e6
+		r.Table.AddRow(fmt.Sprintf("%.2f", load),
+			fmt.Sprintf("%.1f", goodput),
+			fmtDur(res.MeanDelay),
+			fmt.Sprintf("%.1f", res.SendBufMean))
+		sDelay.Add(load, res.MeanDelay.Seconds())
+		sTput.Add(load, goodput)
+	}
+	r.Series = []*stats.Series{sDelay, sTput}
+	r.check("throughput rises with load", sTput.Monotone(1, 0.05),
+		"goodput tracks offered load below saturation")
+	r.check("delay rises with load", sDelay.Monotone(1, 0.05),
+		"queueing adds delay as the load point approaches saturation")
+	first, last := sDelay.Points[0].Y, sDelay.Points[len(sDelay.Points)-1].Y
+	r.check("the knee is visible", last > 2*first,
+		"past saturation (110%% load) delay %.4gs dwarfs light-load delay %.4gs", last, first)
+	return r
+}
+
+// E17CheckpointIntervalAblation sweeps W_cp, the protocol's central tuning
+// knob. §3.4: "If we decrease the check point interval, that holding time
+// will be decreased... the sending buffer is under control" — but each
+// checkpoint costs control-channel capacity and receiver work. The sweep
+// exposes both sides: holding time/buffer shrink with W_cp while the
+// control-frame count grows inversely.
+func E17CheckpointIntervalAblation() *Result {
+	r := &Result{
+		ID:    "E17",
+		Title: "checkpoint interval W_cp ablation: holding time vs control overhead",
+		Table: stats.NewTable("", "W_cp", "H anal", "H sim", "B_LAMS", "ctrl frames", "η"),
+	}
+	sHold := &stats.Series{Label: "holding"}
+	sCtrl := &stats.Series{Label: "control"}
+	okHold := true
+	prevCtrl := uint64(1 << 62)
+	okCtrl := true
+	for _, icp := range []sim.Duration{2 * sim.Millisecond, 5 * sim.Millisecond,
+		10 * sim.Millisecond, 20 * sim.Millisecond, 40 * sim.Millisecond} {
+		cl := withErrors(Base(), 0.05, 0.0125)
+		cl.N = 3000
+		cl.Icp = icp
+		res := Run(cl)
+		p := cl.Analytical()
+		r.Table.AddRow(fmtDur(icp),
+			fmtDur(analysis.Dur(p.HFrameLAMS())), fmtDur(res.MeanHolding),
+			fmt.Sprintf("%.0f", p.BLAMS()),
+			fmt.Sprint(res.ControlSent),
+			fmt.Sprintf("%.3f", res.Efficiency))
+		sHold.Add(icp.Seconds(), res.MeanHolding.Seconds())
+		sCtrl.Add(icp.Seconds(), float64(res.ControlSent))
+		if !near(res.MeanHolding.Seconds(), p.HFrameLAMS(), 0.3) {
+			okHold = false
+		}
+		if res.ControlSent > prevCtrl {
+			okCtrl = false
+		}
+		prevCtrl = res.ControlSent
+	}
+	r.Series = []*stats.Series{sHold, sCtrl}
+	r.check("holding time grows with W_cp", sHold.Monotone(1, 0.05),
+		"buffer control by shrinking the checkpoint interval works as §3.4 claims")
+	r.check("holding matches the closed form across the sweep", okHold,
+		"H_frame tracks s̄(R+t_f+t_c+t_proc+(n̄cp−½)W_cp) within 30%%")
+	r.check("control overhead falls with W_cp", okCtrl,
+		"fewer checkpoints per unit time at larger intervals")
+	return r
+}
+
+// All runs every experiment in order.
+func All() []*Result {
+	return []*Result{
+		E1MeanPeriods(),
+		E2LowTrafficDelay(),
+		E3HoldingAndBuffer(),
+		E4ThroughputVsTraffic(),
+		E5ThroughputVsBER(),
+		E6ThroughputVsDistance(),
+		E7BurstResilience(),
+		E8FailureDetection(),
+		E9FlowControl(),
+		E10NumberingSize(),
+		E11Validation(),
+		E12VariantAblation(),
+		E13StutterAblation(),
+		E14HybridFECTradeoff(),
+		E15InSequenceCost(),
+		E16DelayThroughput(),
+		E17CheckpointIntervalAblation(),
+	}
+}
+
+// ByID returns the experiment runner with the given ID, or nil.
+func ByID(id string) func() *Result {
+	m := map[string]func() *Result{
+		"E1":  E1MeanPeriods,
+		"E2":  E2LowTrafficDelay,
+		"E3":  E3HoldingAndBuffer,
+		"E4":  E4ThroughputVsTraffic,
+		"E5":  E5ThroughputVsBER,
+		"E6":  E6ThroughputVsDistance,
+		"E7":  E7BurstResilience,
+		"E8":  E8FailureDetection,
+		"E9":  E9FlowControl,
+		"E10": E10NumberingSize,
+		"E11": E11Validation,
+		"E12": E12VariantAblation,
+		"E13": E13StutterAblation,
+		"E14": E14HybridFECTradeoff,
+		"E15": E15InSequenceCost,
+		"E16": E16DelayThroughput,
+		"E17": E17CheckpointIntervalAblation,
+	}
+	return m[id]
+}

@@ -1,0 +1,358 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation: every table and figure of Section 4 (and the protocol-design
+// claims of §2.3/§3.3) has an experiment here that (a) evaluates the paper's
+// closed-form model via internal/analysis and (b) re-measures the same
+// quantity by running the real protocol implementations over the simulated
+// laser link, then checks the paper's shape claims (who wins, by what
+// factor, where the trend bends).
+//
+// The experiment index lives in DESIGN.md §5; cmd/lamstables prints every
+// experiment, and bench_test.go exposes each as a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/hdlc"
+	"repro/internal/lamsdlc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Protocol selects the DLC under test.
+type Protocol int
+
+// Protocols.
+const (
+	LAMS Protocol = iota
+	SRHDLC
+	GBNHDLC
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case LAMS:
+		return "LAMS-DLC"
+	case SRHDLC:
+		return "SR-HDLC"
+	case GBNHDLC:
+		return "GBN-HDLC"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// RunConfig describes one protocol run.
+type RunConfig struct {
+	Protocol Protocol
+
+	// Traffic: N datagrams of PayloadBytes each, offered all at once
+	// (saturating the sending buffer, the §4 high-traffic model) unless
+	// OfferInterval is set (constant-rate arrivals).
+	N             int
+	PayloadBytes  int
+	OfferInterval sim.Duration
+	// Poisson makes OfferInterval the mean of exponential inter-arrivals
+	// instead of a fixed spacing.
+	Poisson bool
+
+	// Link.
+	RateBps float64
+	OneWay  sim.Duration
+	IModel  channel.ErrorModel // nil = Perfect
+	CModel  channel.ErrorModel
+	// IExpansion/CExpansion scale wire occupancy for the FEC code rate.
+	IExpansion, CExpansion float64
+	// TapAB and TapBA, when non-nil, observe the two link directions for
+	// tracing.
+	TapAB, TapBA channel.Tap
+
+	// Protocol parameters.
+	Icp     sim.Duration // LAMS checkpoint interval
+	Cdepth  int
+	W       int          // HDLC window
+	Alpha   sim.Duration // HDLC timeout slack
+	Stutter bool         // HDLC idle-time stutter retransmission
+	Tproc   sim.Duration
+	RecvCap int // LAMS receive buffer cap (0 = unbounded)
+	SendCap int
+
+	Seed    uint64
+	Horizon sim.Duration // safety stop; 0 = 10 virtual minutes
+}
+
+// RunResult carries the measurements every experiment reads.
+type RunResult struct {
+	Protocol        Protocol
+	Delivered       uint64
+	Duplicates      uint64
+	Lost            int // datagrams never delivered within the horizon
+	FirstTx         uint64
+	Retransmissions uint64
+	ControlSent     uint64
+	Elapsed         sim.Duration // offer start to last delivery
+	Efficiency      float64      // delivered payload bits / (rate × elapsed)
+	TransPerFrame   float64      // empirical s̄: transmissions per delivered frame
+	MeanHolding     sim.Duration
+	MaxHolding      sim.Duration
+	MeanDelay       sim.Duration // enqueue → delivery
+	SendBufMean     float64
+	SendBufMax      float64
+	RecvBufMax      float64
+	RecvDropped     uint64
+	RateChanges     uint64
+	Recoveries      uint64
+	Failures        uint64
+	FinalBacklog    int // sending buffer population at the horizon
+	MaxLiveSpan     uint32
+	FinalRate       float64 // LAMS flow-control rate fraction at the end
+}
+
+func (c RunConfig) lamsConfig() lamsdlc.Config {
+	cfg := lamsdlc.Defaults(2 * c.OneWay)
+	cfg.CheckpointInterval = c.Icp
+	cfg.CumulationDepth = c.Cdepth
+	cfg.ProcTime = c.Tproc
+	cfg.RecvBufferCap = c.RecvCap
+	cfg.SendBufferCap = c.SendCap
+	return cfg
+}
+
+func (c RunConfig) hdlcConfig() hdlc.Config {
+	cfg := hdlc.Defaults(2 * c.OneWay)
+	cfg.WindowSize = c.W
+	cfg.ModulusBits = 0
+	cfg.Timeout = 2*c.OneWay + c.Alpha
+	cfg.ProcTime = c.Tproc
+	cfg.Stutter = c.Stutter
+	if c.Protocol == GBNHDLC {
+		cfg.Mode = hdlc.GoBackN
+	}
+	return cfg
+}
+
+func (c RunConfig) pipe() channel.PipeConfig {
+	return channel.PipeConfig{
+		RateBps:    c.RateBps,
+		Delay:      channel.ConstantDelay(c.OneWay),
+		IModel:     c.IModel,
+		CModel:     c.CModel,
+		IExpansion: c.IExpansion,
+		CExpansion: c.CExpansion,
+	}
+}
+
+// Run executes the configured scenario to completion (all N datagrams
+// delivered) or to the horizon, and returns the measurements.
+func Run(c RunConfig) RunResult {
+	if c.Horizon == 0 {
+		c.Horizon = 10 * sim.Minute
+	}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(c.Seed)
+	ab := c.pipe()
+	ab.Tap = c.TapAB
+	ba := c.pipe()
+	ba.Tap = c.TapBA
+	link := channel.NewAsymmetricLink(sched, ab, ba, rng)
+
+	got := make(map[uint64]int, c.N)
+	var lastDelivery sim.Time
+	deliver := func(now sim.Time, dg arq.Datagram, _ uint32) {
+		got[dg.ID]++
+		if got[dg.ID] == 1 {
+			lastDelivery = now
+		}
+		// Stop early once everything has arrived at least once.
+		if len(got) == c.N {
+			sched.Stop()
+		}
+	}
+
+	var m *arq.Metrics
+	var enqueue workload.Sink
+	var backlog func() int
+	var maxSpan func() uint32
+	finalRate := func() float64 { return 1 }
+
+	switch c.Protocol {
+	case LAMS:
+		pair := lamsdlc.NewPair(sched, link, c.lamsConfig(), deliver, nil)
+		pair.Start()
+		m = pair.Metrics
+		enqueue = pair.Sender.Enqueue
+		backlog = pair.Sender.Outstanding
+		maxSpan = pair.Sender.MaxLiveSpan
+		finalRate = pair.Sender.RateFraction
+	case SRHDLC, GBNHDLC:
+		pair := hdlc.NewPair(sched, link, c.hdlcConfig(), deliver)
+		pair.Start()
+		m = pair.Metrics
+		enqueue = pair.Sender.Enqueue
+		backlog = pair.Sender.Outstanding
+		maxSpan = func() uint32 { return 0 }
+	default:
+		panic("bench: unknown protocol")
+	}
+
+	switch {
+	case c.OfferInterval > 0 && c.Poisson:
+		workload.NewPoisson(sched, rng.Split(), enqueue, c.OfferInterval, c.PayloadBytes, c.N)
+	case c.OfferInterval > 0:
+		workload.NewConstantRate(sched, enqueue, c.OfferInterval, c.PayloadBytes, c.N)
+	default:
+		workload.NewSaturating(sched, enqueue, c.Icp, c.PayloadBytes, c.N)
+	}
+
+	sched.RunUntil(sim.Time(c.Horizon))
+
+	res := RunResult{
+		Protocol:        c.Protocol,
+		Delivered:       m.Delivered.Value(),
+		FirstTx:         m.FirstTx.Value(),
+		Retransmissions: m.Retransmissions.Value(),
+		ControlSent:     m.ControlSent.Value(),
+		MeanHolding:     m.MeanHoldingTime(),
+		MaxHolding:      sim.Duration(m.HoldingTime.Max()),
+		MeanDelay:       sim.Duration(m.DeliveryDelay.Mean()),
+		SendBufMean:     m.SendBufOcc.Mean(),
+		SendBufMax:      m.SendBufOcc.Max(),
+		RecvBufMax:      m.RecvBufOcc.Max(),
+		RecvDropped:     m.RecvDropped.Value(),
+		RateChanges:     m.RateChanges.Value(),
+		Recoveries:      m.Recoveries.Value(),
+		Failures:        m.Failures.Value(),
+		FinalBacklog:    backlog(),
+		MaxLiveSpan:     maxSpan(),
+		FinalRate:       finalRate(),
+	}
+	for id, n := range got {
+		if n > 1 {
+			res.Duplicates += uint64(n - 1)
+		}
+		_ = id
+	}
+	res.Lost = c.N - len(got)
+	res.Elapsed = sim.Duration(lastDelivery)
+	if lastDelivery > 0 {
+		bits := float64(len(got)) * float64(c.PayloadBytes) * 8
+		res.Efficiency = bits / (c.RateBps * lastDelivery.Seconds())
+	}
+	if n := len(got); n > 0 {
+		res.TransPerFrame = float64(res.FirstTx+res.Retransmissions) / float64(n)
+	}
+	return res
+}
+
+// Analytical builds the analysis parameters matching a RunConfig, using the
+// configured per-frame error probabilities when the models are FixedProb
+// (the validation experiments) and frame sizes from the codec.
+func (c RunConfig) Analytical() analysis.Params {
+	pf, pc := modelProb(c.IModel), modelProb(c.CModel)
+	frameBytes := c.PayloadBytes + 21 // I-frame header + CRC
+	ctrlBytes := 20                   // empty checkpoint
+	return analysis.Params{
+		PF:     pf,
+		PC:     pc,
+		R:      (2 * c.OneWay).Seconds(),
+		Icp:    c.Icp.Seconds(),
+		Cdepth: c.Cdepth,
+		W:      c.W,
+		Tf:     float64(frameBytes*8) / c.RateBps,
+		Tc:     float64(ctrlBytes*8) / c.RateBps,
+		Tproc:  c.Tproc.Seconds(),
+		Alpha:  c.Alpha.Seconds(),
+	}
+}
+
+func modelProb(m channel.ErrorModel) float64 {
+	if fp, ok := m.(channel.FixedProb); ok {
+		return fp.P
+	}
+	return 0
+}
+
+// Check is a pass/fail assertion of one of the paper's shape claims.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is one regenerated table/figure plus its shape checks.
+type Result struct {
+	ID     string
+	Title  string
+	Table  *stats.Table
+	Series []*stats.Series
+	Checks []Check
+	Notes  []string
+}
+
+// check records an assertion.
+func (r *Result) check(name string, pass bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the result for terminal output.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("=== %s: %s ===\n", r.ID, r.Title)
+	if r.Table != nil {
+		out += r.Table.String()
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		out += fmt.Sprintf("check [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return out
+}
+
+// fmtDur renders a duration rounded for tables.
+func fmtDur(d sim.Duration) string {
+	switch {
+	case d >= sim.Second:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	case d >= sim.Millisecond:
+		return fmt.Sprintf("%.3gms", float64(d)/float64(sim.Millisecond))
+	default:
+		return fmt.Sprintf("%.3gus", float64(d)/float64(sim.Microsecond))
+	}
+}
+
+// fmtRatio renders a/b guarding division by zero.
+func fmtRatio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// near reports |a−b| ≤ tol·max(|a|,|b|).
+func near(a, b, tol float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return true
+	}
+	return math.Abs(a-b) <= tol*m
+}

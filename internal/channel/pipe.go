@@ -1,0 +1,254 @@
+package channel
+
+import (
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/orbit"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Handler consumes frames arriving at the far end of a pipe.
+type Handler func(now sim.Time, f *frame.Frame)
+
+// DelayFn returns the one-way propagation delay for a frame departing the
+// wire at the given instant. Constant-delay and orbit-driven helpers below.
+type DelayFn func(at sim.Time) sim.Duration
+
+// Tap observes pipe activity for tracing. event is one of "tx" (frame
+// entered the wire), "rx" (delivered), "drop" (lost), "corrupt" (marked
+// corrupted). The frame must not be retained or mutated.
+type Tap func(now sim.Time, event string, f *frame.Frame)
+
+// ConstantDelay returns a DelayFn with a fixed propagation delay.
+func ConstantDelay(d sim.Duration) DelayFn {
+	return func(sim.Time) sim.Duration { return d }
+}
+
+// OrbitDelay derives the propagation delay from an orbital link, with
+// simulation time mapped 1:1 onto orbital time offset by epoch.
+func OrbitDelay(l orbit.Link, epoch time.Duration) DelayFn {
+	return func(at sim.Time) sim.Duration {
+		return orbit.PropagationDelay(l.RangeM(epoch + time.Duration(at)))
+	}
+}
+
+// PipeConfig parameterizes one direction of a link.
+type PipeConfig struct {
+	// RateBps is the wire data rate in bits per second (300e6–1e9 in the
+	// paper's environment). Zero or negative means infinite rate (zero
+	// transmission time), used by analytical-validation scenarios.
+	RateBps float64
+	// Delay gives the one-way propagation delay. Nil means zero delay.
+	Delay DelayFn
+	// IModel and CModel are the error processes applied to information and
+	// control frames respectively (assumption 4: separate FEC strengths).
+	// Nil means Perfect.
+	IModel, CModel ErrorModel
+	// IExpansion and CExpansion scale the wire occupancy of information
+	// and control frames for the FEC code rate (fec.Scheme.Overhead):
+	// coded redundancy costs real transmission time, which is the other
+	// side of the hybrid ARQ/FEC trade the paper's §1–2 survey discusses.
+	// Zero means 1 (no expansion).
+	IExpansion, CExpansion float64
+	// Tap, when non-nil, observes every pipe event for tracing.
+	Tap Tap
+}
+
+// PipeStats counts traffic for reports and invariant checks.
+type PipeStats struct {
+	FramesSent      stats.Counter
+	FramesDelivered stats.Counter
+	FramesCorrupted stats.Counter
+	FramesLost      stats.Counter // dropped during link failure
+	BitsSent        stats.Counter
+	IFrames         stats.Counter
+	CFrames         stats.Counter
+}
+
+// Pipe is one direction of a point-to-point link: an exclusive-use serial
+// wire (frames transmit back to back at RateBps) followed by a propagation
+// delay. FIFO delivery is guaranteed even with time-varying delay — a frame
+// never overtakes its predecessor, matching a physical serial medium.
+type Pipe struct {
+	sched   *sim.Scheduler
+	cfg     PipeConfig
+	rng     *sim.RNG
+	handler Handler
+
+	busyUntil   sim.Time // when the wire frees up
+	lastArrival sim.Time // FIFO watermark
+	down        bool
+
+	Stats PipeStats
+}
+
+// NewPipe returns a pipe on the given scheduler. rng must not be shared with
+// the reverse pipe if runs are to stay reproducible under refactoring.
+func NewPipe(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Pipe {
+	if sched == nil {
+		panic("channel: nil scheduler")
+	}
+	if rng == nil {
+		panic("channel: nil rng")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = ConstantDelay(0)
+	}
+	if cfg.IModel == nil {
+		cfg.IModel = Perfect{}
+	}
+	if cfg.CModel == nil {
+		cfg.CModel = Perfect{}
+	}
+	return &Pipe{sched: sched, cfg: cfg, rng: rng}
+}
+
+// SetHandler installs the receiver callback. Frames arriving with no handler
+// installed are counted as lost.
+func (p *Pipe) SetHandler(h Handler) { p.handler = h }
+
+// TxTime returns the serialization time of a frame at the pipe's rate,
+// including the FEC expansion for its frame class.
+func (p *Pipe) TxTime(f *frame.Frame) sim.Duration {
+	exp := p.cfg.IExpansion
+	if f.Kind.Control() {
+		exp = p.cfg.CExpansion
+	}
+	if exp <= 0 {
+		exp = 1
+	}
+	return sim.Duration(float64(p.TxTimeBits(f.Bits())) * exp)
+}
+
+// TxTimeBits returns the serialization time for a frame of the given length.
+func (p *Pipe) TxTimeBits(bits int) sim.Duration {
+	if p.cfg.RateBps <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(bits) / p.cfg.RateBps * float64(sim.Second))
+}
+
+// BusyUntil returns the instant the wire next frees up.
+func (p *Pipe) BusyUntil() sim.Time { return p.busyUntil }
+
+// QueueingDelay returns how long a frame sent now would wait for the wire.
+func (p *Pipe) QueueingDelay() sim.Duration {
+	now := p.sched.Now()
+	if p.busyUntil <= now {
+		return 0
+	}
+	return p.busyUntil.Sub(now)
+}
+
+// Send transmits a clone of f. The frame starts serializing when the wire is
+// free, occupies it for TxTime, suffers the error process, propagates, and
+// is delivered to the handler. Send never blocks; back-to-back sends queue
+// on the wire, which is how the protocols' send pacing is modelled.
+func (p *Pipe) Send(f *frame.Frame) {
+	now := p.sched.Now()
+	g := f.Clone()
+	start := sim.MaxTime(now, p.busyUntil)
+	tx := p.TxTime(g)
+	depart := start.Add(tx)
+	p.busyUntil = depart
+
+	p.Stats.FramesSent.Inc()
+	p.Stats.BitsSent.Addn(uint64(g.Bits()))
+	var model ErrorModel
+	if g.Kind.Control() {
+		p.Stats.CFrames.Inc()
+		model = p.cfg.CModel
+	} else {
+		p.Stats.IFrames.Inc()
+		model = p.cfg.IModel
+	}
+	if p.cfg.Tap != nil {
+		p.cfg.Tap(now, "tx", g)
+	}
+	if model.Corrupt(p.rng, start, depart, g.Bits()) {
+		g.Corrupted = true
+		p.Stats.FramesCorrupted.Inc()
+		if p.cfg.Tap != nil {
+			p.cfg.Tap(now, "corrupt", g)
+		}
+	}
+	if p.down {
+		// Frames launched into a dead link vanish (beam lost).
+		p.Stats.FramesLost.Inc()
+		if p.cfg.Tap != nil {
+			p.cfg.Tap(now, "drop", g)
+		}
+		return
+	}
+
+	arrival := depart.Add(p.cfg.Delay(depart))
+	// Physical FIFO: with shrinking delay a later frame could compute an
+	// earlier arrival; clamp to preserve ordering on the serial medium.
+	if arrival <= p.lastArrival {
+		arrival = p.lastArrival + 1
+	}
+	p.lastArrival = arrival
+	p.sched.Schedule(arrival, func() {
+		if p.down || p.handler == nil {
+			p.Stats.FramesLost.Inc()
+			if p.cfg.Tap != nil {
+				p.cfg.Tap(p.sched.Now(), "drop", g)
+			}
+			return
+		}
+		p.Stats.FramesDelivered.Inc()
+		if p.cfg.Tap != nil {
+			p.cfg.Tap(p.sched.Now(), "rx", g)
+		}
+		p.handler(p.sched.Now(), g)
+	})
+}
+
+// SetDown marks the pipe dead (true) or alive (false). Frames already in
+// flight when the pipe goes down are lost at arrival time; frames sent while
+// down are lost immediately.
+func (p *Pipe) SetDown(down bool) { p.down = down }
+
+// Down reports whether the pipe is dead.
+func (p *Pipe) Down() bool { return p.down }
+
+// Link is a full-duplex connection: two independent pipes. By link-model
+// assumption 2 all links are full duplex; the two directions may differ in
+// error models (e.g. asymmetric FEC experiments) but normally share config.
+type Link struct {
+	AtoB, BtoA *Pipe
+}
+
+// NewLink builds a full-duplex link with per-direction RNG streams split
+// from rng.
+func NewLink(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Link {
+	return &Link{
+		AtoB: NewPipe(sched, cfg, rng.Split()),
+		BtoA: NewPipe(sched, cfg, rng.Split()),
+	}
+}
+
+// NewAsymmetricLink builds a link with distinct per-direction configs.
+func NewAsymmetricLink(sched *sim.Scheduler, ab, ba PipeConfig, rng *sim.RNG) *Link {
+	return &Link{
+		AtoB: NewPipe(sched, ab, rng.Split()),
+		BtoA: NewPipe(sched, ba, rng.Split()),
+	}
+}
+
+// Fail kills both directions.
+func (l *Link) Fail() {
+	l.AtoB.SetDown(true)
+	l.BtoA.SetDown(true)
+}
+
+// Restore revives both directions.
+func (l *Link) Restore() {
+	l.AtoB.SetDown(false)
+	l.BtoA.SetDown(false)
+}
+
+// Down reports whether either direction is dead.
+func (l *Link) Down() bool { return l.AtoB.Down() || l.BtoA.Down() }

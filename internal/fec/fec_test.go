@@ -1,0 +1,304 @@
+package fec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSchemeOverhead(t *testing.T) {
+	if Uncoded.Overhead() != 1 {
+		t.Fatalf("uncoded overhead = %v", Uncoded.Overhead())
+	}
+	if got := Hamming74.Overhead(); got != 1.75 {
+		t.Fatalf("hamming overhead = %v, want 1.75", got)
+	}
+	if got := Repetition3.Overhead(); got != 3 {
+		t.Fatalf("repetition overhead = %v, want 3", got)
+	}
+	if (Scheme{K: 0, N: 5}).Overhead() != 1 {
+		t.Fatal("zero-K overhead should be 1")
+	}
+}
+
+func TestBlockErrorProbEdges(t *testing.T) {
+	for _, s := range []Scheme{Uncoded, Hamming74, Repetition3} {
+		if p := s.BlockErrorProb(0); p != 0 {
+			t.Fatalf("%s: P(0) = %v", s.Name, p)
+		}
+		if p := s.BlockErrorProb(1); p != 1 {
+			t.Fatalf("%s: P(1) = %v", s.Name, p)
+		}
+		if p := s.BlockErrorProb(-0.5); p != 0 {
+			t.Fatalf("%s: P(-) = %v", s.Name, p)
+		}
+	}
+}
+
+func TestBlockErrorProbHamming(t *testing.T) {
+	// For Hamming(7,4) at BER p, uncorrectable = P(>=2 errors in 7 bits).
+	p := 1e-3
+	want := 0.0
+	for i := 2; i <= 7; i++ {
+		want += math.Exp(logChoose(7, i)) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(7-i))
+	}
+	got := Hamming74.BlockErrorProb(p)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("BlockErrorProb = %v, want %v", got, want)
+	}
+}
+
+func TestCodingGain(t *testing.T) {
+	// At small BER the coded schemes must beat uncoded by orders of
+	// magnitude; this is the premise of assumption 4 (control frames on a
+	// stronger code have much lower P_C).
+	ber := 1e-5
+	bits := 8192
+	pUn := Uncoded.FrameErrorProb(ber, bits)
+	pH := Hamming74.FrameErrorProb(ber, bits)
+	pR := Repetition3.FrameErrorProb(ber, bits)
+	if !(pH < pUn/10) {
+		t.Fatalf("hamming gain too small: %v vs %v", pH, pUn)
+	}
+	if !(pR < pH) {
+		t.Fatalf("repetition should beat hamming at this BER: %v vs %v", pR, pH)
+	}
+}
+
+func TestFrameErrorProbMonotone(t *testing.T) {
+	prev := 0.0
+	for _, ber := range []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		p := Hamming74.FrameErrorProb(ber, 8192)
+		if p < prev {
+			t.Fatalf("frame error prob not monotone in BER: %v after %v", p, prev)
+		}
+		prev = p
+	}
+	prev = 0.0
+	for _, bits := range []int{64, 512, 4096, 32768} {
+		p := Hamming74.FrameErrorProb(1e-5, bits)
+		if p < prev {
+			t.Fatalf("frame error prob not monotone in size")
+		}
+		prev = p
+	}
+	if Hamming74.FrameErrorProb(1e-5, 0) != 0 {
+		t.Fatal("zero-size frame should never error")
+	}
+}
+
+func TestFrameErrorProbUncodedMatchesScheme(t *testing.T) {
+	for _, ber := range []float64{0, 1e-7, 1e-4, 0.5, 1} {
+		for _, bits := range []int{1, 100, 10000} {
+			a := FrameErrorProbUncoded(ber, bits)
+			b := Uncoded.FrameErrorProb(ber, bits)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("ber=%v bits=%d: %v vs %v", ber, bits, a, b)
+			}
+		}
+	}
+}
+
+func TestResidualBER(t *testing.T) {
+	if Hamming74.ResidualBER(0) != 0 {
+		t.Fatal("residual at 0")
+	}
+	r := Hamming74.ResidualBER(1e-4)
+	if r <= 0 || r >= 1e-4 {
+		t.Fatalf("residual BER = %v, want in (0, 1e-4)", r)
+	}
+	if Uncoded.ResidualBER(1) != 1 {
+		t.Fatalf("uncoded residual at ber=1: %v", Uncoded.ResidualBER(1))
+	}
+}
+
+func TestHammingRoundTripClean(t *testing.T) {
+	data := []byte("The LAMS-DLC ARQ Protocol, CSE-91-03")
+	code := HammingEncode(data)
+	if len(code) != 2*len(data) {
+		t.Fatalf("code length %d, want %d", len(code), 2*len(data))
+	}
+	got, corrections := HammingDecode(code)
+	if corrections != 0 {
+		t.Fatalf("clean decode reported %d corrections", corrections)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestHammingCorrectsSingleBitPerWord(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0xA5, 0x3C, 0x7B}
+	code := HammingEncode(data)
+	for wi := range code {
+		for bit := 0; bit < 7; bit++ {
+			mutated := append([]byte(nil), code...)
+			mutated[wi] ^= 1 << bit
+			got, corrections := HammingDecode(mutated)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("word %d bit %d: decode mismatch", wi, bit)
+			}
+			if corrections != 1 {
+				t.Fatalf("word %d bit %d: corrections = %d", wi, bit, corrections)
+			}
+		}
+	}
+}
+
+func TestHammingRandomizedSingleErrors(t *testing.T) {
+	rng := sim.NewRNG(99)
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		code := HammingEncode(data)
+		// Flip one bit in each codeword.
+		for i := range code {
+			code[i] ^= 1 << uint(rng.Intn(7))
+		}
+		got, _ := HammingDecode(code)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepetitionRoundTrip(t *testing.T) {
+	data := []byte{0, 1, 2, 250, 255}
+	code := RepetitionEncode(data)
+	if len(code) != 3*len(data) {
+		t.Fatalf("code length %d", len(code))
+	}
+	got, corrections := RepetitionDecode(code)
+	if corrections != 0 || !bytes.Equal(got, data) {
+		t.Fatal("clean repetition round trip failed")
+	}
+	// Corrupt one copy of each byte arbitrarily: majority vote fixes it.
+	for i := 0; i < len(data); i++ {
+		code[3*i+1] ^= 0xFF
+	}
+	got, corrections = RepetitionDecode(code)
+	if !bytes.Equal(got, data) {
+		t.Fatal("repetition failed to correct single-copy corruption")
+	}
+	if corrections != len(data) {
+		t.Fatalf("corrections = %d, want %d", corrections, len(data))
+	}
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	f := func(data []byte, rows, cols uint8) bool {
+		il := NewInterleaver(int(rows%16)+1, int(cols%16)+1)
+		return bytes.Equal(il.Deinterleave(il.Interleave(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaverDispersesBursts(t *testing.T) {
+	il := NewInterleaver(8, 16)
+	n := il.BlockSize()
+	data := make([]byte, n)
+	inter := il.Interleave(data)
+	// Corrupt a burst of 8 consecutive channel bytes.
+	for i := 16; i < 24; i++ {
+		inter[i] = 0xFF
+	}
+	back := il.Deinterleave(inter)
+	// The corrupted positions in the original order must be >= cols apart.
+	var hits []int
+	for i, b := range back {
+		if b == 0xFF {
+			hits = append(hits, i)
+		}
+	}
+	if len(hits) != 8 {
+		t.Fatalf("expected 8 corrupted bytes, got %d", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i]-hits[i-1] < il.cols {
+			t.Fatalf("burst bytes only %d apart after deinterleave", hits[i]-hits[i-1])
+		}
+	}
+}
+
+func TestInterleaverPartialBlockPassThrough(t *testing.T) {
+	il := NewInterleaver(4, 4)
+	data := []byte{1, 2, 3, 4, 5} // shorter than one block
+	if !bytes.Equal(il.Interleave(data), data) {
+		t.Fatal("partial block should pass through")
+	}
+}
+
+func TestInterleaverDepthAndDisperse(t *testing.T) {
+	il := NewInterleaver(8, 16)
+	if il.Depth() != 8 {
+		t.Fatalf("Depth = %d", il.Depth())
+	}
+	if il.DisperseBurst(1) != il.BlockSize() {
+		t.Fatal("single byte burst should report block size")
+	}
+	if il.DisperseBurst(8) != 16 {
+		t.Fatalf("DisperseBurst(8) = %d, want 16", il.DisperseBurst(8))
+	}
+	if il.DisperseBurst(9) != 1 {
+		t.Fatal("over-depth burst should report adjacency")
+	}
+}
+
+func TestInterleaverBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero dims should panic")
+		}
+	}()
+	NewInterleaver(0, 4)
+}
+
+func TestEmpiricalHammingResidualMatchesAlgebra(t *testing.T) {
+	// Monte-Carlo check: corrupt encoded bits at BER p, decode, and compare
+	// the fraction of wrong codewords with Scheme.BlockErrorProb (decoded
+	// errors include miscorrections, so compare against that upper bound's
+	// order of magnitude).
+	rng := sim.NewRNG(4242)
+	const p = 0.01
+	const words = 200000
+	bad := 0
+	for w := 0; w < words; w++ {
+		nibble := byte(rng.Intn(16))
+		cw := hammingEncodeNibble(nibble)
+		for bit := 0; bit < 7; bit++ {
+			if rng.Bernoulli(p) {
+				cw ^= 1 << bit
+			}
+		}
+		got, _ := hammingDecodeWord(cw & 0x7F)
+		if got != nibble {
+			bad++
+		}
+	}
+	empirical := float64(bad) / words
+	predicted := Hamming74.BlockErrorProb(p)
+	if empirical < predicted/2 || empirical > predicted*2 {
+		t.Fatalf("empirical word error %v vs predicted %v", empirical, predicted)
+	}
+}
+
+func BenchmarkHammingEncode1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		HammingEncode(data)
+	}
+}
+
+func BenchmarkFrameErrorProb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Hamming74.FrameErrorProb(1e-6, 8192)
+	}
+}

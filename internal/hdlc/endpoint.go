@@ -1,0 +1,32 @@
+package hdlc
+
+import (
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// Pair wires an HDLC Sender and Receiver across a full-duplex simulated
+// link, mirroring lamsdlc.Pair so experiments can swap protocols.
+type Pair struct {
+	Sender   *Sender
+	Receiver *Receiver
+	Metrics  *arq.Metrics
+	Link     *channel.Link
+}
+
+// NewPair builds and wires the endpoints. deliver may be nil.
+func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc) *Pair {
+	m := &arq.Metrics{}
+	s := NewSender(sched, link.AtoB, cfg, m)
+	r := NewReceiver(sched, link.BtoA, cfg, m, deliver)
+	link.AtoB.SetHandler(r.HandleFrame)
+	link.BtoA.SetHandler(s.HandleFrame)
+	return &Pair{Sender: s, Receiver: r, Metrics: m, Link: link}
+}
+
+// Start activates both ends.
+func (p *Pair) Start() {
+	p.Sender.Start()
+	p.Receiver.Start()
+}

@@ -1,0 +1,168 @@
+package hdlc
+
+import (
+	"sort"
+
+	"repro/internal/arq"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Receiver is the receiving half of an HDLC endpoint. It enforces strict
+// reliability: frames are delivered to the packet layer in order, without
+// loss or duplicates. In SelectiveRepeat mode out-of-order frames are held
+// in the receive buffer (which is why SR-HDLC needs a window's worth of
+// receive memory, §2.3); in GoBackN mode they are discarded.
+type Receiver struct {
+	sched *sim.Scheduler
+	wire  arq.Wire
+	cfg   Config
+	m     *arq.Metrics
+
+	recvBase uint32 // N(R): next in-order sequence number needed
+	held     map[uint32]*frame.Frame
+	srejSent map[uint32]bool
+	rejSent  bool // GBN: one REJ outstanding per gap
+
+	deliveredInWindow int // RR cadence: acknowledge every window's worth
+
+	deliver arq.DeliverFunc
+}
+
+// NewReceiver constructs an HDLC receiver.
+func NewReceiver(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics, deliver arq.DeliverFunc) *Receiver {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Receiver{
+		sched:    sched,
+		wire:     wire,
+		cfg:      cfg,
+		m:        m,
+		held:     make(map[uint32]*frame.Frame),
+		srejSent: make(map[uint32]bool),
+		deliver:  deliver,
+	}
+}
+
+// Start is a no-op: HDLC receivers are purely reactive.
+func (r *Receiver) Start() {}
+
+// RecvBase exposes N(R) for tests.
+func (r *Receiver) RecvBase() uint32 { return r.recvBase }
+
+// Held returns the receive-buffer occupancy (out-of-order frames).
+func (r *Receiver) Held() int { return len(r.held) }
+
+// HandleFrame processes one arriving frame.
+func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
+	if f.Corrupted {
+		// Damaged frame: HDLC discards it; recovery comes from the
+		// gap-triggered SREJ/REJ when the next good frame arrives, or
+		// from the sender's timeout.
+		return
+	}
+	if f.Kind != frame.KindHDLCI {
+		return
+	}
+	switch {
+	case f.Seq < r.recvBase:
+		// Duplicate of a delivered frame (e.g. retransmitted after its
+		// RR was lost). Discard; if it polls, answer so the sender can
+		// slide its window.
+		if f.Final {
+			r.sendRR(true)
+		}
+		return
+	case f.Seq == r.recvBase:
+		r.accept(now, f)
+	default:
+		// Out of order: a gap [recvBase, f.Seq) exists.
+		r.onGap(f)
+	}
+	if f.Final {
+		r.sendRR(true)
+	}
+}
+
+// accept delivers the in-order frame and any buffered successors.
+func (r *Receiver) accept(now sim.Time, f *frame.Frame) {
+	r.deliverUp(now, f)
+	r.recvBase++
+	for {
+		g, ok := r.held[r.recvBase]
+		if !ok {
+			break
+		}
+		delete(r.held, r.recvBase)
+		r.deliverUp(now, g)
+		r.recvBase++
+	}
+	r.rejSent = false
+	for seq := range r.srejSent {
+		if seq < r.recvBase {
+			delete(r.srejSent, seq)
+		}
+	}
+	r.noteRecvOccupancy()
+	// Check-point-mode RR cadence: acknowledge once per window of
+	// deliveries even without a poll, so the sender's window can turn
+	// over (the per-window RR exchange of [8] that §2.3 describes).
+	if r.deliveredInWindow >= r.cfg.WindowSize {
+		r.deliveredInWindow = 0
+		r.sendRR(false)
+	}
+}
+
+func (r *Receiver) onGap(f *frame.Frame) {
+	switch r.cfg.Mode {
+	case SelectiveRepeat:
+		if _, dup := r.held[f.Seq]; dup {
+			return // duplicate of a held frame
+		}
+		r.held[f.Seq] = f.Clone()
+		r.noteRecvOccupancy()
+		// SREJ each newly discovered missing frame exactly once; the
+		// sender's timeout covers SREJ losses.
+		var missing []uint32
+		for seq := r.recvBase; seq < f.Seq; seq++ {
+			if _, have := r.held[seq]; !have && !r.srejSent[seq] {
+				missing = append(missing, seq)
+			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		for _, seq := range missing {
+			r.srejSent[seq] = true
+			r.wire.Send(&frame.Frame{Kind: frame.KindSREJ, Ack: r.recvBase, Seq: seq})
+			r.m.NAKsSent.Inc()
+			r.m.ControlSent.Inc()
+		}
+	case GoBackN:
+		// Discard and demand a back-up, once per gap episode.
+		if !r.rejSent {
+			r.rejSent = true
+			r.wire.Send(&frame.Frame{Kind: frame.KindREJ, Ack: r.recvBase, Seq: r.recvBase})
+			r.m.NAKsSent.Inc()
+			r.m.ControlSent.Inc()
+		}
+	}
+}
+
+func (r *Receiver) deliverUp(now sim.Time, f *frame.Frame) {
+	dg := arq.Datagram{ID: f.DatagramID, Payload: f.Payload, EnqueuedAt: sim.Time(f.EnqueuedNS)}
+	r.m.NoteDelivery(now, dg)
+	r.deliveredInWindow++
+	if r.deliver != nil {
+		r.deliver(now, dg, f.Seq)
+	}
+}
+
+func (r *Receiver) sendRR(final bool) {
+	r.wire.Send(&frame.Frame{Kind: frame.KindRR, Ack: r.recvBase, Final: final})
+	r.m.ControlSent.Inc()
+	r.deliveredInWindow = 0
+}
+
+func (r *Receiver) noteRecvOccupancy() {
+	r.m.RecvBufOcc.Update(int64(r.sched.Now()), float64(len(r.held)))
+}

@@ -1,0 +1,276 @@
+package hdlc
+
+import (
+	"repro/internal/arq"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// hentry is one outstanding I-frame. HDLC never renumbers, so the key is
+// stable for the frame's lifetime.
+type hentry struct {
+	dg        arq.Datagram
+	seq       uint32
+	firstTx   sim.Time
+	srejTimes int
+}
+
+// Sender is the transmitting half of an HDLC endpoint: window-limited
+// transmission, SREJ/REJ-driven retransmission, cumulative release on RR,
+// and timeout recovery with P-bit polls.
+type Sender struct {
+	sched *sim.Scheduler
+	wire  arq.Wire
+	cfg   Config
+	m     *arq.Metrics
+
+	queue    []arq.Datagram
+	window   []*hentry // outstanding, ascending seq
+	sendBase uint32
+	nextSeq  uint32
+
+	pumpTimer *sim.Timer
+	pumpArmed bool
+	wireFree  sim.Time
+
+	retryTimer *sim.Timer
+
+	// Stutter mode.
+	stutterTimer *sim.Timer
+	stutterIdx   int
+	stutters     uint64
+}
+
+// NewSender constructs an HDLC sender.
+func NewSender(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics) *Sender {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Sender{sched: sched, wire: wire, cfg: cfg, m: m}
+	s.pumpTimer = sim.NewTimer(sched, s.pump)
+	s.retryTimer = sim.NewTimer(sched, s.onTimeout)
+	s.stutterTimer = sim.NewTimer(sched, s.stutter)
+	return s
+}
+
+// Stutters returns the number of idle-time stutter retransmissions sent.
+func (s *Sender) Stutters() uint64 { return s.stutters }
+
+// Start is a no-op for symmetry with the LAMS-DLC sender.
+func (s *Sender) Start() {}
+
+// Outstanding returns window occupancy plus queued backlog — the sending
+// buffer whose unbounded growth under sustained load §4 proves.
+func (s *Sender) Outstanding() int { return len(s.window) + len(s.queue) }
+
+// Unacked returns the number of in-window frames.
+func (s *Sender) Unacked() int { return len(s.window) }
+
+// QueuedDatagrams returns the untransmitted backlog.
+func (s *Sender) QueuedDatagrams() int { return len(s.queue) }
+
+// SendBase exposes the lowest unacknowledged sequence number.
+func (s *Sender) SendBase() uint32 { return s.sendBase }
+
+// Enqueue accepts a datagram from the network layer. Unlike LAMS-DLC there
+// is no transparent bound; the queue grows as the analysis predicts, so the
+// caller measures rather than limits it.
+func (s *Sender) Enqueue(dg arq.Datagram) bool {
+	dg.EnqueuedAt = s.sched.Now()
+	s.queue = append(s.queue, dg)
+	s.m.Submitted.Inc()
+	s.noteOccupancy()
+	s.schedulePump(0)
+	return true
+}
+
+func (s *Sender) schedulePump(d sim.Duration) {
+	at := s.sched.Now().Add(d)
+	if s.pumpArmed && s.pumpTimer.Deadline() <= at {
+		return
+	}
+	s.pumpArmed = true
+	s.pumpTimer.StartAt(at)
+}
+
+// pump transmits while the window has room.
+func (s *Sender) pump() {
+	s.pumpArmed = false
+	now := s.sched.Now()
+	if now < s.wireFree {
+		s.schedulePump(s.wireFree.Sub(now))
+		return
+	}
+	if len(s.queue) == 0 || uint32(len(s.window)) >= uint32(s.cfg.WindowSize) {
+		s.maybeStutter()
+		return
+	}
+	dg := s.queue[0]
+	s.queue = s.queue[1:]
+	e := &hentry{dg: dg, seq: s.nextSeq, firstTx: now}
+	s.nextSeq++
+	s.window = append(s.window, e)
+	// The frame that fills the window carries the P bit: ask the receiver
+	// for an RR checkpoint so the window can turn over.
+	final := uint32(len(s.window)) == uint32(s.cfg.WindowSize) || len(s.queue) == 0
+	s.transmit(e, final, false)
+	s.noteOccupancy()
+	tx := s.wire.TxTime(frame.NewI(0, 0, dg.Payload))
+	s.wireFree = now.Add(tx)
+	if len(s.queue) > 0 {
+		s.schedulePump(tx)
+	}
+}
+
+// transmit sends (or resends) e and restarts T1 (the single HDLC
+// acknowledgment timer).
+func (s *Sender) transmit(e *hentry, final, retx bool) {
+	f := &frame.Frame{
+		Kind:       frame.KindHDLCI,
+		Seq:        e.seq,
+		Payload:    e.dg.Payload,
+		DatagramID: e.dg.ID,
+		Final:      final,
+		EnqueuedNS: int64(e.dg.EnqueuedAt),
+	}
+	s.wire.Send(f)
+	if retx {
+		s.m.Retransmissions.Inc()
+	} else {
+		s.m.FirstTx.Inc()
+	}
+	s.restartT1()
+}
+
+// restartT1 re-arms the acknowledgment timer. HDLC runs a single T1 timer:
+// it is (re)started on every transmission and on every supervisory frame
+// received, and stopped when the window drains.
+func (s *Sender) restartT1() {
+	if len(s.window) == 0 {
+		s.retryTimer.Stop()
+		return
+	}
+	s.retryTimer.Start(s.cfg.Timeout)
+}
+
+// maybeStutter arms the stutter process: when new transmission is blocked
+// but unacknowledged frames exist, the idle wire repeats them cyclically at
+// the frame rate.
+func (s *Sender) maybeStutter() {
+	if !s.cfg.Stutter || len(s.window) == 0 || s.stutterTimer.Active() {
+		return
+	}
+	idle := s.wireFree.Sub(s.sched.Now())
+	if idle < 0 {
+		idle = 0
+	}
+	s.stutterTimer.Start(idle)
+}
+
+// stutter repeats one unacknowledged frame and re-arms while the sender
+// remains otherwise idle.
+func (s *Sender) stutter() {
+	if len(s.window) == 0 {
+		return
+	}
+	// New traffic has priority: if a frame could be sent normally, yield.
+	if len(s.queue) > 0 && uint32(len(s.window)) < uint32(s.cfg.WindowSize) {
+		s.schedulePump(0)
+		return
+	}
+	if s.stutterIdx >= len(s.window) {
+		s.stutterIdx = 0
+	}
+	e := s.window[s.stutterIdx]
+	s.stutterIdx++
+	s.stutters++
+	s.transmit(e, s.stutterIdx == len(s.window), true)
+	tx := s.wire.TxTime(&frame.Frame{Kind: frame.KindHDLCI, Payload: e.dg.Payload})
+	s.wireFree = s.sched.Now().Add(tx)
+	s.stutterTimer.Start(tx)
+}
+
+// onTimeout performs HDLC checkpoint (timeout) retransmission: resend the
+// oldest unacknowledged I-frame with the P bit set, soliciting an RR that
+// reveals the receiver's true state (§4: timeout recovery governs the
+// retransmission periods, with one frame per period).
+func (s *Sender) onTimeout() {
+	if len(s.window) == 0 {
+		return
+	}
+	s.transmit(s.window[0], true, true)
+}
+
+// HandleFrame processes supervisory frames from the receiver.
+func (s *Sender) HandleFrame(now sim.Time, f *frame.Frame) {
+	if f.Corrupted {
+		return
+	}
+	switch f.Kind {
+	case frame.KindRR:
+		s.handleRR(now, f)
+	case frame.KindSREJ:
+		s.handleSREJ(now, f)
+	case frame.KindREJ:
+		s.handleREJ(now, f)
+	}
+}
+
+// handleRR releases everything below N(R) (cumulative positive ack) and
+// slides the window.
+func (s *Sender) handleRR(now sim.Time, f *frame.Frame) {
+	if f.Ack <= s.sendBase {
+		return // stale
+	}
+	var keep []*hentry
+	for _, e := range s.window {
+		if e.seq < f.Ack {
+			s.m.HoldingTime.Add(float64(now.Sub(e.firstTx)))
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	s.window = keep
+	s.sendBase = f.Ack
+	s.restartT1()
+	s.noteOccupancy()
+	s.schedulePump(0)
+}
+
+// handleSREJ retransmits exactly the rejected frame under its original
+// number.
+func (s *Sender) handleSREJ(_ sim.Time, f *frame.Frame) {
+	for _, e := range s.window {
+		if e.seq == f.Seq {
+			e.srejTimes++
+			// Retransmissions poll (P bit): §4's model has each
+			// retransmission period end with an RR solicited by the
+			// last retransmitted I-frame.
+			s.transmit(e, true, true)
+			return
+		}
+	}
+	// Unknown seq: the SREJ was stale (frame already released). Ignore.
+}
+
+// handleREJ implements Go-Back-N: retransmit the rejected frame and every
+// later outstanding frame, in order.
+func (s *Sender) handleREJ(_ sim.Time, f *frame.Frame) {
+	n := 0
+	for _, e := range s.window {
+		if e.seq >= f.Seq {
+			n++
+		}
+	}
+	i := 0
+	for _, e := range s.window {
+		if e.seq >= f.Seq {
+			i++
+			s.transmit(e, i == n, true)
+		}
+	}
+}
+
+func (s *Sender) noteOccupancy() {
+	s.m.SendBufOcc.Update(int64(s.sched.Now()), float64(s.Outstanding()))
+}

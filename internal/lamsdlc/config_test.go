@@ -1,0 +1,74 @@
+package lamsdlc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	if err := Defaults(20 * sim.Millisecond).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Defaults(20 * sim.Millisecond)
+	mutations := []struct {
+		name string
+		fn   func(*Config)
+	}{
+		{"zero checkpoint interval", func(c *Config) { c.CheckpointInterval = 0 }},
+		{"zero cumulation depth", func(c *Config) { c.CumulationDepth = 0 }},
+		{"negative send buffer", func(c *Config) { c.SendBufferCap = -1 }},
+		{"negative recv buffer", func(c *Config) { c.RecvBufferCap = -1 }},
+		{"rate decrease 0", func(c *Config) { c.RateDecrease = 0 }},
+		{"rate decrease 1", func(c *Config) { c.RateDecrease = 1 }},
+		{"rate increase 1", func(c *Config) { c.RateIncrease = 1 }},
+		{"min fraction 0", func(c *Config) { c.MinRateFraction = 0 }},
+		{"min fraction >1", func(c *Config) { c.MinRateFraction = 2 }},
+		{"stopgo inverted", func(c *Config) { c.StopGoHigh, c.StopGoLow = 0.2, 0.8 }},
+		{"negative retries", func(c *Config) { c.RequestRetries = -1 }},
+		{"negative rtt", func(c *Config) { c.RoundTrip = -1 }},
+	}
+	for _, m := range mutations {
+		c := base
+		m.fn(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestDerivedTimings(t *testing.T) {
+	c := Defaults(20 * sim.Millisecond)
+	c.CheckpointInterval = 10 * sim.Millisecond
+	c.CumulationDepth = 3
+	if got := c.CheckpointTimeout(); got != 30*sim.Millisecond {
+		t.Fatalf("CheckpointTimeout = %v", got)
+	}
+	if got := c.ExpectedResponse(); got != 20*sim.Millisecond+c.ProcTime {
+		t.Fatalf("ExpectedResponse = %v", got)
+	}
+	if got := c.FailureTimeout(); got != c.ExpectedResponse()+30*sim.Millisecond {
+		t.Fatalf("FailureTimeout = %v", got)
+	}
+	// R + W_cp/2 + C_depth*W_cp = 20 + 5 + 30 = 55ms
+	if got := c.ResolvingPeriod(); got != 55*sim.Millisecond {
+		t.Fatalf("ResolvingPeriod = %v", got)
+	}
+}
+
+func TestNumberingSize(t *testing.T) {
+	c := Defaults(20 * sim.Millisecond)
+	c.CheckpointInterval = 10 * sim.Millisecond
+	c.CumulationDepth = 3
+	// Resolving period 55ms; at t_f = 100µs the numbering size must cover
+	// 550 outstanding frames.
+	if got := c.NumberingSize(100 * sim.Microsecond); got != 551 {
+		t.Fatalf("NumberingSize = %d, want 551", got)
+	}
+	if c.NumberingSize(0) != 0 {
+		t.Fatal("zero frame time should yield 0")
+	}
+}

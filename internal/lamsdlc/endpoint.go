@@ -1,0 +1,34 @@
+package lamsdlc
+
+import (
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// Pair wires a Sender and a Receiver across a full-duplex simulated link:
+// I-frames flow A→B, checkpoint traffic flows B→A. It is the one-line setup
+// the experiments and examples use for unidirectional data transfer (a
+// bidirectional node runs one Pair per direction; see internal/node).
+type Pair struct {
+	Sender   *Sender
+	Receiver *Receiver
+	Metrics  *arq.Metrics
+	Link     *channel.Link
+}
+
+// NewPair builds and wires the endpoints. deliver and onFailure may be nil.
+func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc, onFailure arq.FailureFunc) *Pair {
+	m := &arq.Metrics{}
+	s := NewSender(sched, link.AtoB, cfg, m, onFailure)
+	r := NewReceiver(sched, link.BtoA, cfg, m, deliver)
+	link.AtoB.SetHandler(r.HandleFrame)
+	link.BtoA.SetHandler(s.HandleFrame)
+	return &Pair{Sender: s, Receiver: r, Metrics: m, Link: link}
+}
+
+// Start activates both ends (receiver checkpointing begins immediately).
+func (p *Pair) Start() {
+	p.Sender.Start()
+	p.Receiver.Start()
+}

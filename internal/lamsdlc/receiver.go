@@ -1,0 +1,271 @@
+package lamsdlc
+
+import (
+	"repro/internal/arq"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Receiver is the receiving half of a LAMS-DLC endpoint. It emits periodic
+// Check-Point commands for as long as the link is active ("commands are
+// sent by the receiver so long as the link is active"), identifies damaged
+// I-frames from gaps in the monotone sequence space, cumulates error
+// reports over C_depth checkpoint intervals, and answers Request-NAKs
+// immediately with Enforced-NAKs.
+//
+// Because LAMS-DLC relaxes the in-sequence constraint, arriving I-frames
+// are delivered upward as soon as processing (t_proc) completes, regardless
+// of order; the receive buffer holds only frames awaiting processing, which
+// is what makes its size transparent (§3.3, §4).
+type Receiver struct {
+	sched *sim.Scheduler
+	wire  arq.Wire
+	cfg   Config
+	m     *arq.Metrics
+
+	expected  uint32     // next expected sequence number; all below are classified
+	intervals [][]uint32 // error lists; intervals[0] is the current W_cp
+	serial    uint32
+	ticker    *sim.Ticker
+	started   bool
+
+	// Receive processing queue (the receiving buffer of §3.4).
+	procQueue []*frame.Frame
+	procBusy  bool
+	stopGo    bool
+
+	// DLC-level duplicate suppression (Config.DedupWindow).
+	seen      map[uint64]sim.Time // datagram ID -> delivery instant
+	lastPrune sim.Time
+
+	deliver arq.DeliverFunc
+}
+
+// NewReceiver constructs a receiver delivering upward via deliver (which
+// may be nil for pure measurement runs).
+func NewReceiver(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics, deliver arq.DeliverFunc) *Receiver {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Receiver{
+		sched:     sched,
+		wire:      wire,
+		cfg:       cfg,
+		m:         m,
+		intervals: make([][]uint32, cfg.CumulationDepth),
+		deliver:   deliver,
+	}
+	if cfg.DedupWindow > 0 {
+		r.seen = make(map[uint64]sim.Time)
+	}
+	r.ticker = sim.NewTicker(sched, cfg.CheckpointInterval, r.emitCheckpoint)
+	return r
+}
+
+// SetDeliver replaces the upward delivery callback. The node layer uses it
+// to route a link's deliveries into the receiving node's network layer
+// after the endpoints are wired.
+func (r *Receiver) SetDeliver(fn arq.DeliverFunc) { r.deliver = fn }
+
+// Start begins the periodic checkpoint process.
+func (r *Receiver) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.ticker.Start()
+}
+
+// Stop halts the checkpoint process (link teardown).
+func (r *Receiver) Stop() { r.ticker.Stop() }
+
+// Expected exposes the next expected sequence number (tests).
+func (r *Receiver) Expected() uint32 { return r.expected }
+
+// StopGoAsserted reports whether flow control is currently asserting stop.
+func (r *Receiver) StopGoAsserted() bool { return r.stopGo }
+
+// QueueLen returns the receive-buffer occupancy in frames.
+func (r *Receiver) QueueLen() int { return len(r.procQueue) }
+
+// HandleFrame processes one arriving frame.
+func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
+	if f.Corrupted {
+		// Undecodable (assumption 9: detectably damaged). Its sequence
+		// number is unknown; the gap left in the monotone sequence space
+		// identifies it when the next good frame arrives.
+		return
+	}
+	switch f.Kind {
+	case frame.KindI:
+		r.handleI(now, f)
+	case frame.KindRequestNAK:
+		r.handleRequestNAK(now, f)
+	default:
+		// Checkpoints and HDLC frames are never addressed to a LAMS
+		// receiver; ignore.
+	}
+}
+
+func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
+	if f.Seq < r.expected {
+		// Below the watermark means a duplicate of a classified frame.
+		// With monotone numbering and a FIFO wire this cannot happen in
+		// normal operation; tolerate it silently for robustness.
+		return
+	}
+	// Gap detection: every sequence number skipped over was a frame
+	// damaged or destroyed on the wire (the sender numbers all
+	// transmissions, including retransmissions, consecutively).
+	for missing := r.expected; missing < f.Seq; missing++ {
+		r.intervals[0] = append(r.intervals[0], missing)
+		r.m.NAKsSent.Inc()
+	}
+	r.expected = f.Seq + 1
+
+	// Receive buffer admission (§3.4): a full processing queue discards
+	// the frame; the discard is reported like any other error so the
+	// sender retransmits it, and Stop-Go throttles the sender meanwhile.
+	if r.cfg.RecvBufferCap > 0 && len(r.procQueue) >= r.cfg.RecvBufferCap {
+		r.intervals[0] = append(r.intervals[0], f.Seq)
+		r.m.NAKsSent.Inc()
+		r.m.RecvDropped.Inc()
+		r.stopGo = true
+		return
+	}
+	r.procQueue = append(r.procQueue, f)
+	r.noteRecvOccupancy()
+	r.updateStopGo()
+	r.processNext()
+}
+
+// processNext runs the t_proc processing pipeline, one frame at a time.
+func (r *Receiver) processNext() {
+	if r.procBusy || len(r.procQueue) == 0 {
+		return
+	}
+	r.procBusy = true
+	r.sched.ScheduleAfter(r.cfg.ProcTime, func() {
+		f := r.procQueue[0]
+		r.procQueue = r.procQueue[1:]
+		r.procBusy = false
+		r.noteRecvOccupancy()
+		r.updateStopGo()
+		now := r.sched.Now()
+		if r.seen != nil {
+			if _, dup := r.seen[f.DatagramID]; dup {
+				// The "more recent version" of §3.2: the link layer
+				// itself guarantees zero duplication. Refresh the entry:
+				// under sustained acknowledgement failure the sender keeps
+				// retransmitting, so a chain of duplicates can outlive any
+				// fixed window, but the gap between consecutive arrivals
+				// of one datagram is bounded by the retransmission cadence
+				// (well inside DedupWindow).
+				r.seen[f.DatagramID] = now
+				r.m.DupSuppressed.Inc()
+				r.pruneSeen(now)
+				r.processNext()
+				return
+			}
+			r.seen[f.DatagramID] = now
+			r.pruneSeen(now)
+		}
+		dg := arq.Datagram{ID: f.DatagramID, Payload: f.Payload, EnqueuedAt: sim.Time(f.EnqueuedNS)}
+		r.m.NoteDelivery(now, dg)
+		if r.deliver != nil {
+			r.deliver(now, dg, f.Seq)
+		}
+		r.processNext()
+	})
+}
+
+func (r *Receiver) updateStopGo() {
+	if r.cfg.RecvBufferCap <= 0 {
+		return
+	}
+	occ := float64(len(r.procQueue)) / float64(r.cfg.RecvBufferCap)
+	if occ >= r.cfg.StopGoHigh {
+		r.stopGo = true
+	} else if occ <= r.cfg.StopGoLow {
+		r.stopGo = false
+	}
+}
+
+// emitCheckpoint sends the periodic Check-Point command: watermark, the
+// union of the last C_depth intervals' error lists, and the Stop-Go bit.
+func (r *Receiver) emitCheckpoint() {
+	r.serial++
+	r.send(false)
+	// Rotate the cumulation window: a fresh current interval, oldest
+	// report generation expires.
+	copy(r.intervals[1:], r.intervals[:len(r.intervals)-1])
+	r.intervals[0] = nil
+	r.m.Checkpoints.Inc()
+}
+
+// handleRequestNAK answers immediately with an Enforced-NAK (or Resolving
+// command when there is nothing to report), per §3.2.
+func (r *Receiver) handleRequestNAK(_ sim.Time, req *frame.Frame) {
+	r.serial++
+	r.sendEnforced(req.Serial)
+}
+
+func (r *Receiver) send(enforced bool) {
+	cp := frame.NewCheckpoint(r.serial, r.expected, r.cumulativeNAKs(), r.stopGo, enforced)
+	r.wire.Send(cp)
+	r.m.ControlSent.Inc()
+}
+
+func (r *Receiver) sendEnforced(reqSerial uint32) {
+	cp := frame.NewCheckpoint(r.serial, r.expected, r.cumulativeNAKs(), r.stopGo, true)
+	cp.Seq = reqSerial // echo for correlation
+	r.wire.Send(cp)
+	r.m.ControlSent.Inc()
+}
+
+// cumulativeNAKs returns the union of the stored intervals, deduplicated
+// and in ascending order (the lists are built ascending and intervals are
+// disjoint in normal operation, but overflow discards can repeat a seq).
+func (r *Receiver) cumulativeNAKs() []uint32 {
+	var total int
+	for _, iv := range r.intervals {
+		total += len(iv)
+	}
+	if total == 0 {
+		return nil
+	}
+	seen := make(map[uint32]bool, total)
+	out := make([]uint32, 0, total)
+	// Oldest generation first keeps ascending order overall.
+	for i := len(r.intervals) - 1; i >= 0; i-- {
+		for _, seq := range r.intervals[i] {
+			if !seen[seq] {
+				seen[seq] = true
+				out = append(out, seq)
+			}
+		}
+	}
+	return out
+}
+
+// pruneSeen expires dedup entries older than the window, amortized to one
+// sweep per window.
+func (r *Receiver) pruneSeen(now sim.Time) {
+	if now.Sub(r.lastPrune) < r.cfg.DedupWindow {
+		return
+	}
+	r.lastPrune = now
+	for id, at := range r.seen {
+		if now.Sub(at) > r.cfg.DedupWindow {
+			delete(r.seen, id)
+		}
+	}
+}
+
+// DedupEntries returns the current dedup-memory population (tests and the
+// memory-bound claim).
+func (r *Receiver) DedupEntries() int { return len(r.seen) }
+
+func (r *Receiver) noteRecvOccupancy() {
+	r.m.RecvBufOcc.Update(int64(r.sched.Now()), float64(len(r.procQueue)))
+}

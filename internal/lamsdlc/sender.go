@@ -1,0 +1,442 @@
+package lamsdlc
+
+import (
+	"fmt"
+
+	"repro/internal/arq"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// entry is one datagram held in the sending buffer, keyed by the sequence
+// number of its current incarnation (LAMS-DLC renumbers retransmissions).
+type entry struct {
+	dg        arq.Datagram
+	seq       uint32   // current sequence number
+	lastTx    sim.Time // start of the latest transmission
+	holdStart sim.Time // start of the first transmission (holding time base)
+	txCount   int
+}
+
+// Sender is the transmitting half of a LAMS-DLC endpoint. It is a sans-IO
+// state machine driven by the scheduler's virtual clock and checkpoint
+// arrivals; output goes to the wire. Not safe for concurrent use — drivers
+// serialize all calls (the simulation is single-threaded; the live driver
+// owns a per-endpoint event loop).
+type Sender struct {
+	sched *sim.Scheduler
+	wire  arq.Wire
+	cfg   Config
+	m     *arq.Metrics
+
+	queue   []arq.Datagram // accepted, not yet first-transmitted
+	ordered []*entry       // unacknowledged, ascending current seq
+	bySeq   map[uint32]*entry
+	nextSeq uint32
+
+	// Send pacing.
+	pumpTimer    *sim.Timer
+	pumpArmed    bool
+	wireFreeAt   sim.Time
+	rateFraction float64
+
+	// Checkpoint / failure supervision.
+	cpTimer      *sim.Timer
+	failTimer    *sim.Timer
+	lastRxSerial uint32
+	haveRxSerial bool
+	recovering   bool
+	failed       bool
+	reqSerial    uint32
+	retriesLeft  int
+	startAt      sim.Time
+	lastCpAt     sim.Time
+	reqSentAt    sim.Time
+	maxLiveSpan  uint32 // widest nextSeq − oldestUnacked observed
+
+	onFailure arq.FailureFunc
+}
+
+// NewSender constructs a sender. metrics may be shared with the peer
+// receiver; onFailure may be nil.
+func NewSender(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics, onFailure arq.FailureFunc) *Sender {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Sender{
+		sched:        sched,
+		wire:         wire,
+		cfg:          cfg,
+		m:            m,
+		bySeq:        make(map[uint32]*entry),
+		rateFraction: 1,
+		retriesLeft:  cfg.RequestRetries,
+		onFailure:    onFailure,
+	}
+	s.pumpTimer = sim.NewTimer(sched, s.pump)
+	s.cpTimer = sim.NewTimer(sched, s.onCheckpointTimeout)
+	s.failTimer = sim.NewTimer(sched, s.onFailureTimeout)
+	return s
+}
+
+// Start records the link-activation instant (for LinkLifetime accounting)
+// and arms the checkpoint timer with an initialization grace of the expected
+// response time plus C_depth·W_cp. §3.2 arms the timer at the first
+// checkpoint arrival, which presumes a separate link-initialization
+// procedure; arming at Start closes the gap where a link that never comes up
+// would never be declared failed.
+func (s *Sender) Start() {
+	s.startAt = s.sched.Now()
+	s.cpTimer.Start(s.cfg.ExpectedResponse() + s.cfg.CheckpointTimerTimeout())
+}
+
+// Failed reports whether the sender has declared the link failed.
+func (s *Sender) Failed() bool { return s.failed }
+
+// Recovering reports whether an Enforced Recovery is in progress (new
+// I-frames suspended).
+func (s *Sender) Recovering() bool { return s.recovering }
+
+// Outstanding returns the number of unacknowledged frames plus queued
+// datagrams — the sending-buffer occupancy whose transparent bound §4
+// derives.
+func (s *Sender) Outstanding() int { return len(s.ordered) + len(s.queue) }
+
+// QueuedDatagrams returns only the not-yet-transmitted backlog.
+func (s *Sender) QueuedDatagrams() int { return len(s.queue) }
+
+// Unacked returns the number of transmitted-but-unreleased frames.
+func (s *Sender) Unacked() int { return len(s.ordered) }
+
+// NextSeq exposes the next sequence number to be assigned (tests and the
+// numbering-size experiment use it).
+func (s *Sender) NextSeq() uint32 { return s.nextSeq }
+
+// RateFraction returns the current flow-control send-rate fraction.
+func (s *Sender) RateFraction() float64 { return s.rateFraction }
+
+// MaxLiveSpan returns the widest span of simultaneously live sequence
+// numbers observed (next assignment minus the oldest unacknowledged). The
+// numbering-size experiment checks it against the resolving-period bound of
+// §2.3/§3.3.
+func (s *Sender) MaxLiveSpan() uint32 { return s.maxLiveSpan }
+
+func (s *Sender) noteSpan() {
+	if len(s.ordered) == 0 {
+		return
+	}
+	if span := s.nextSeq - s.ordered[0].seq; span > s.maxLiveSpan {
+		s.maxLiveSpan = span
+	}
+}
+
+// Enqueue accepts a datagram from the network layer. It returns false when
+// the sending buffer is at capacity or the link has failed; the network
+// layer retries or routes around, mirroring the store-and-forward model.
+func (s *Sender) Enqueue(dg arq.Datagram) bool {
+	if s.failed {
+		return false
+	}
+	if s.cfg.SendBufferCap > 0 && s.Outstanding() >= s.cfg.SendBufferCap {
+		return false
+	}
+	dg.EnqueuedAt = s.sched.Now()
+	s.queue = append(s.queue, dg)
+	s.m.Submitted.Inc()
+	s.noteOccupancy()
+	s.schedulePump(0)
+	return true
+}
+
+// schedulePump arms the pump after d, unless an earlier pump is pending.
+func (s *Sender) schedulePump(d sim.Duration) {
+	at := s.sched.Now().Add(d)
+	if s.pumpArmed && s.pumpTimer.Deadline() <= at {
+		return
+	}
+	s.pumpArmed = true
+	s.pumpTimer.StartAt(at)
+}
+
+// pump transmits new I-frames while the protocol and pacing allow. New
+// frames are paced at the wire rate scaled by the flow-control fraction;
+// retransmissions bypass pacing (§4: retransmitted I-frames mix freely with
+// transmissions).
+func (s *Sender) pump() {
+	s.pumpArmed = false
+	if s.failed || s.recovering {
+		return
+	}
+	now := s.sched.Now()
+	if now < s.wireFreeAt {
+		s.schedulePump(s.wireFreeAt.Sub(now))
+		return
+	}
+	if len(s.queue) == 0 {
+		return
+	}
+	dg := s.queue[0]
+	s.queue = s.queue[1:]
+	e := &entry{dg: dg, seq: s.nextSeq, lastTx: now, holdStart: now}
+	s.nextSeq++
+	s.bySeq[e.seq] = e
+	s.ordered = append(s.ordered, e)
+	e.txCount = 1
+	f := frame.NewI(e.seq, dg.ID, dg.Payload)
+	f.EnqueuedNS = int64(dg.EnqueuedAt)
+	s.wire.Send(f)
+	s.m.FirstTx.Inc()
+	s.noteSpan()
+	s.noteOccupancy()
+
+	// Pace the next new frame: one frame time at the scaled rate.
+	tx := s.wire.TxTime(f)
+	gap := sim.Duration(float64(tx) / s.rateFraction)
+	s.wireFreeAt = now.Add(gap)
+	if len(s.queue) > 0 {
+		s.schedulePump(gap)
+	}
+}
+
+// HandleFrame processes an arriving control frame. Information frames never
+// arrive at a sender; the endpoint wiring routes frames by direction.
+func (s *Sender) HandleFrame(now sim.Time, f *frame.Frame) {
+	if s.failed {
+		return
+	}
+	if f.Corrupted {
+		return // undecodable; the periodic process retries implicitly
+	}
+	switch f.Kind {
+	case frame.KindCheckpoint:
+		s.handleCheckpoint(now, f)
+	default:
+		// A sender can legitimately see no other kinds; ignore garbage.
+	}
+}
+
+func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
+	// Any readable checkpoint proves the receiver is alive: re-arm the
+	// checkpoint timer (§3.2: reset to zero after each Check-Point).
+	s.lastCpAt = now
+	s.cpTimer.Start(s.cfg.CheckpointTimerTimeout())
+
+	// Coverage tracking: each error is reported in C_depth consecutive
+	// checkpoints. If the serial jumped by more than C_depth, at least one
+	// error report generation may have been lost entirely, so watermark
+	// releases below are unsafe this round (DESIGN.md §4.2).
+	covered := true
+	if s.haveRxSerial && f.Serial > s.lastRxSerial {
+		covered = f.Serial-s.lastRxSerial <= uint32(s.cfg.CumulationDepth)
+	}
+	if !s.haveRxSerial || f.Serial > s.lastRxSerial {
+		s.haveRxSerial = true
+		s.lastRxSerial = f.Serial
+	}
+
+	naked := make(map[uint32]bool, len(f.NAKs))
+	for _, n := range f.NAKs {
+		naked[n] = true
+	}
+
+	// Flow control (§3.4): every checkpoint adjusts the rate.
+	s.applyStopGo(f.StopGo)
+
+	if f.Enforced && s.recovering {
+		// Enforced-NAK / Resolving command answers our Request-NAK.
+		s.failTimer.Stop()
+		s.recovering = false
+		s.retriesLeft = s.cfg.RequestRetries
+	}
+
+	// Walk the ordered buffer once, deciding each entry's fate.
+	resolving := s.cfg.ResolvingPeriod()
+	var keep []*entry
+	var retransmit []*entry
+	for _, e := range s.ordered {
+		switch {
+		case naked[e.seq]:
+			// First notification for this incarnation: retransmit under
+			// a new number. (Stale NAKs name retired seqs and miss.)
+			retransmit = append(retransmit, e)
+		case e.seq < f.Ack && covered:
+			// Covered positive acknowledgement: release buffer space.
+			s.release(now, e)
+		case e.seq < f.Ack && !covered:
+			// Watermark says delivered but the report chain is broken;
+			// retransmit rather than risk loss (duplicates are resolved
+			// downstream). Frames still in flight are left alone.
+			if now.Sub(e.lastTx) >= s.cfg.RoundTrip {
+				retransmit = append(retransmit, e)
+			} else {
+				keep = append(keep, e)
+			}
+		case f.Enforced && now.Sub(e.lastTx) >= s.cfg.RoundTrip:
+			// Enforced recovery: the receiver has never seen this frame
+			// although it has had a full round trip to arrive — resend.
+			retransmit = append(retransmit, e)
+		case now.Sub(e.lastTx) >= resolving:
+			// Resolving-period timeout (§3.3): an unreported frame this
+			// old can only be a corrupted trailing frame with no
+			// successor to reveal the gap.
+			retransmit = append(retransmit, e)
+		default:
+			keep = append(keep, e)
+		}
+	}
+	s.ordered = keep
+	for _, e := range retransmit {
+		s.retransmit(now, e)
+	}
+	s.noteSpan()
+	s.noteOccupancy()
+	s.schedulePump(0)
+}
+
+// retransmit re-sends e under a fresh sequence number and re-appends it to
+// the ordered buffer (new seq = highest, so order is preserved).
+func (s *Sender) retransmit(now sim.Time, e *entry) {
+	delete(s.bySeq, e.seq)
+	e.seq = s.nextSeq
+	s.nextSeq++
+	e.lastTx = now
+	e.txCount++
+	s.bySeq[e.seq] = e
+	s.ordered = append(s.ordered, e)
+	f := frame.NewI(e.seq, e.dg.ID, e.dg.Payload)
+	f.EnqueuedNS = int64(e.dg.EnqueuedAt)
+	s.wire.Send(f)
+	s.m.Retransmissions.Inc()
+	// Retransmissions jump the pacing queue (§4: they mix freely with
+	// transmissions) but still consume send-rate budget; without this,
+	// under overload, unpaced retransmissions inflate the wire backlog
+	// past the resolving period and false resolving timeouts feed a
+	// retransmission storm.
+	s.wireFreeAt = sim.MaxTime(now, s.wireFreeAt).Add(s.wire.TxTime(f))
+}
+
+// release frees the buffer slot and records the holding time.
+func (s *Sender) release(now sim.Time, e *entry) {
+	delete(s.bySeq, e.seq)
+	s.m.HoldingTime.Add(float64(now.Sub(e.holdStart)))
+}
+
+func (s *Sender) applyStopGo(stop bool) {
+	old := s.rateFraction
+	if stop {
+		s.rateFraction *= s.cfg.RateDecrease
+		if s.rateFraction < s.cfg.MinRateFraction {
+			s.rateFraction = s.cfg.MinRateFraction
+		}
+	} else if s.rateFraction < 1 {
+		s.rateFraction *= s.cfg.RateIncrease
+		if s.rateFraction > 1 {
+			s.rateFraction = 1
+		}
+	}
+	if s.rateFraction != old {
+		s.m.RateChanges.Inc()
+	}
+}
+
+// onCheckpointTimeout fires when C_depth·W_cp passed with no checkpoint:
+// the sender suspects link failure and begins Enforced Recovery (§3.2).
+func (s *Sender) onCheckpointTimeout() {
+	if s.failed || s.recovering {
+		return
+	}
+	if !s.recoverableFailure() {
+		s.declareFailure("link lifetime exhausted before enforced recovery could complete")
+		return
+	}
+	s.startEnforcedRecovery()
+}
+
+func (s *Sender) startEnforcedRecovery() {
+	s.recovering = true
+	s.sendRequestNAK()
+}
+
+func (s *Sender) sendRequestNAK() {
+	s.reqSerial++
+	s.reqSentAt = s.sched.Now()
+	s.wire.Send(frame.NewRequestNAK(s.reqSerial))
+	s.m.ControlSent.Inc()
+	s.m.Recoveries.Inc()
+	s.failTimer.Start(s.cfg.FailureTimeout())
+}
+
+// recoverableFailure implements §3.2's "provided that the expected response
+// time is within the remaining link lifetime".
+func (s *Sender) recoverableFailure() bool {
+	if s.cfg.LinkLifetime <= 0 {
+		return true
+	}
+	elapsed := s.sched.Now().Sub(s.startAt)
+	remaining := s.cfg.LinkLifetime - elapsed
+	return s.cfg.ExpectedResponse() <= remaining
+}
+
+func (s *Sender) onFailureTimeout() {
+	if s.failed {
+		return
+	}
+	// If regular checkpoints arrived after the Request-NAK went out, the
+	// receiver is demonstrably alive and only the Request-NAK or its
+	// Enforced-NAK was lost on the noisy channel: solicit again rather
+	// than declare a live link dead. This does not consume the retry
+	// budget — the budget guards against a genuinely silent peer.
+	if s.lastCpAt > s.reqSentAt && s.recoverableFailure() {
+		s.sendRequestNAK()
+		return
+	}
+	if s.retriesLeft > 0 && s.recoverableFailure() {
+		s.retriesLeft--
+		s.sendRequestNAK()
+		return
+	}
+	s.declareFailure(fmt.Sprintf("no enforced-NAK within %v of request-NAK", s.cfg.FailureTimeout()))
+}
+
+func (s *Sender) declareFailure(reason string) {
+	s.failed = true
+	s.recovering = false
+	s.cpTimer.Stop()
+	s.failTimer.Stop()
+	s.pumpTimer.Stop()
+	s.pumpArmed = false
+	s.m.Failures.Inc()
+	if s.onFailure != nil {
+		s.onFailure(s.sched.Now(), reason)
+	}
+}
+
+// Shutdown stops all timers and refuses further work without declaring a
+// failure: orderly link teardown at the end of a pass (the session layer
+// reclaims UnreleasedDatagrams for the next pass).
+func (s *Sender) Shutdown() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.recovering = false
+	s.cpTimer.Stop()
+	s.failTimer.Stop()
+	s.pumpTimer.Stop()
+	s.pumpArmed = false
+}
+
+// UnreleasedDatagrams returns the datagrams still held (queued or unacked),
+// in order. After a declared failure the network layer re-routes them.
+func (s *Sender) UnreleasedDatagrams() []arq.Datagram {
+	out := make([]arq.Datagram, 0, s.Outstanding())
+	for _, e := range s.ordered {
+		out = append(out, e.dg)
+	}
+	out = append(out, s.queue...)
+	return out
+}
+
+func (s *Sender) noteOccupancy() {
+	s.m.SendBufOcc.Update(int64(s.sched.Now()), float64(s.Outstanding()))
+}

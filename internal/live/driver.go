@@ -1,0 +1,121 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Driver executes a sim.Scheduler against the wall clock: virtual time
+// advances 1:1 (or scaled) with real time, due events run on the driver's
+// single goroutine, and external goroutines (connection readers) inject
+// work with Post. Protocol entities therefore run exactly as in simulation
+// — single-threaded, virtual-clock timers — while I/O happens in real time.
+type Driver struct {
+	mu    sync.Mutex
+	sched *sim.Scheduler
+	start time.Time
+	speed float64 // virtual nanoseconds per wall nanosecond
+
+	wake    chan struct{}
+	stopped chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewDriver wraps the scheduler. speed scales time: 1 is real time, 10
+// runs the protocol ten times faster than the wall clock (useful to
+// exercise long checkpoint intervals in quick tests). The scheduler must
+// only be touched through the driver once Run starts.
+func NewDriver(sched *sim.Scheduler, speed float64) *Driver {
+	if sched == nil {
+		panic("live: nil scheduler")
+	}
+	if speed <= 0 {
+		panic("live: non-positive speed")
+	}
+	return &Driver{
+		sched:   sched,
+		speed:   speed,
+		start:   time.Now(),
+		wake:    make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// virtualNow maps the wall clock to virtual time. Caller holds mu.
+func (d *Driver) virtualNow() sim.Time {
+	return sim.Time(float64(time.Since(d.start)) * d.speed)
+}
+
+// Run processes events until Stop. It blocks; run it on its own goroutine.
+func (d *Driver) Run() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		now := d.virtualNow()
+		d.sched.RunUntil(now)
+		next := d.sched.NextEventAt()
+		d.mu.Unlock()
+
+		var timer <-chan time.Time
+		if next != sim.Never {
+			wait := time.Duration(float64(next-now) / d.speed)
+			if wait < 0 {
+				wait = 0
+			}
+			t := time.NewTimer(wait)
+			timer = t.C
+			select {
+			case <-timer:
+			case <-d.wake:
+				t.Stop()
+			case <-d.stopped:
+				t.Stop()
+				return
+			}
+			continue
+		}
+		select {
+		case <-d.wake:
+		case <-d.stopped:
+			return
+		}
+	}
+}
+
+// Post schedules fn to run on the driver goroutine at the current virtual
+// instant. Safe from any goroutine; the normal entry point for connection
+// readers delivering frames.
+func (d *Driver) Post(fn func()) {
+	d.mu.Lock()
+	at := sim.MaxTime(d.sched.Now(), d.virtualNow())
+	d.sched.Schedule(at, fn)
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Call runs fn on the driver goroutine and waits for it to complete —
+// synchronous state inspection from tests.
+func (d *Driver) Call(fn func()) {
+	doneCh := make(chan struct{})
+	d.Post(func() {
+		fn()
+		close(doneCh)
+	})
+	select {
+	case <-doneCh:
+	case <-d.done:
+	}
+}
+
+// Stop terminates Run and waits for it to return. Idempotent.
+func (d *Driver) Stop() {
+	d.once.Do(func() { close(d.stopped) })
+	<-d.done
+}

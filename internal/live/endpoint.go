@@ -1,0 +1,267 @@
+package live
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/arq"
+	"repro/internal/frame"
+	"repro/internal/hdlc"
+	"repro/internal/lamsdlc"
+	"repro/internal/sim"
+)
+
+// connWire adapts an io.Writer into the arq.Wire the protocol entities
+// transmit on: frames are encoded with the real codec, flag-framed, and
+// handed to a writer goroutine, so protocol callbacks never block on the
+// network. TxTime derives from the configured virtual-rate so pacing
+// matches the link the operator says they have.
+type connWire struct {
+	rateBps float64
+	out     chan []byte
+	wg      sync.WaitGroup
+	onError func(error)
+	// dropped counts frames discarded because the outbound queue was
+	// full. Send must never block: it is called from the driver loop with
+	// the driver mutex held, and blocking there can deadlock two
+	// endpoints against each other through a synchronous transport.
+	// Dropping is safe — to the protocol a full transmit queue is
+	// indistinguishable from wire loss, which it recovers from by design.
+	dropped uint64
+}
+
+func newConnWire(w io.Writer, rateBps float64, onError func(error)) *connWire {
+	cw := &connWire{
+		rateBps: rateBps,
+		out:     make(chan []byte, 1024),
+		onError: onError,
+	}
+	cw.wg.Add(1)
+	go func() {
+		defer cw.wg.Done()
+		for buf := range cw.out {
+			if _, err := w.Write(buf); err != nil {
+				if cw.onError != nil {
+					cw.onError(err)
+				}
+				// Drain remaining frames so senders never block.
+				for range cw.out {
+				}
+				return
+			}
+		}
+	}()
+	return cw
+}
+
+// Send encodes and queues the frame. Encoding failures (only possible for
+// corrupted or invalid frames, which entities never emit) are reported via
+// onError.
+func (cw *connWire) Send(f *frame.Frame) {
+	raw, err := f.Encode()
+	if err != nil {
+		if cw.onError != nil {
+			cw.onError(err)
+		}
+		return
+	}
+	select {
+	case cw.out <- AppendStuffed(nil, raw):
+	default:
+		cw.dropped++
+	}
+}
+
+// Dropped returns the number of frames discarded at the transmit queue.
+func (cw *connWire) Dropped() uint64 { return cw.dropped }
+
+// TxTime reports the serialization time at the nominal link rate.
+func (cw *connWire) TxTime(f *frame.Frame) sim.Duration {
+	if cw.rateBps <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(f.Bits()) / cw.rateBps * float64(sim.Second))
+}
+
+// Close flushes and stops the writer.
+func (cw *connWire) Close() {
+	close(cw.out)
+	cw.wg.Wait()
+}
+
+// Endpoint binds protocol halves to one full-duplex connection: a data
+// sender (outbound I-frames, inbound acknowledgements) and/or a data
+// receiver (inbound I-frames, outbound acknowledgements). A unidirectional
+// data session sets exactly one of the two; a bidirectional node sets both.
+// The protocol is LAMS-DLC by default, or the HDLC baseline when
+// EndpointConfig.HDLC is set — the same sans-IO state machines the
+// simulator runs.
+type Endpoint struct {
+	Driver   *Driver
+	Sender   *lamsdlc.Sender
+	Receiver *lamsdlc.Receiver
+	HSender  *hdlc.Sender
+	HRecv    *hdlc.Receiver
+	Metrics  *arq.Metrics
+
+	wire   *connWire
+	conn   io.ReadWriteCloser
+	readWG sync.WaitGroup
+}
+
+// EndpointConfig parameterizes NewEndpoint.
+type EndpointConfig struct {
+	// Config is the protocol configuration (shared by both ends).
+	Config lamsdlc.Config
+	// HDLC, when non-nil, runs the baseline protocol instead of LAMS-DLC
+	// (Config is then ignored).
+	HDLC *hdlc.Config
+	// RateBps is the nominal link rate used for send pacing.
+	RateBps float64
+	// Speed scales virtual time against the wall clock (1 = real time).
+	Speed float64
+	// SendSide / RecvSide select which protocol halves this endpoint runs.
+	SendSide, RecvSide bool
+	// Deliver receives datagrams on the receive side.
+	Deliver arq.DeliverFunc
+	// OnFailure is invoked if the send side declares link failure.
+	OnFailure arq.FailureFunc
+	// OnError receives transport errors (decode garbage is not an error;
+	// it is a detectably corrupted frame, handled by the protocol).
+	OnError func(error)
+}
+
+// NewEndpoint wires an endpoint over conn and starts its driver and reader.
+// Close releases everything.
+func NewEndpoint(conn io.ReadWriteCloser, cfg EndpointConfig) *Endpoint {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	sched := sim.NewScheduler()
+	drv := NewDriver(sched, cfg.Speed)
+	wire := newConnWire(conn, cfg.RateBps, cfg.OnError)
+	ep := &Endpoint{Driver: drv, Metrics: &arq.Metrics{}, wire: wire, conn: conn}
+
+	switch {
+	case cfg.HDLC != nil:
+		if cfg.SendSide {
+			ep.HSender = hdlc.NewSender(sched, wire, *cfg.HDLC, ep.Metrics)
+		}
+		if cfg.RecvSide {
+			ep.HRecv = hdlc.NewReceiver(sched, wire, *cfg.HDLC, ep.Metrics, cfg.Deliver)
+		}
+	default:
+		if cfg.SendSide {
+			ep.Sender = lamsdlc.NewSender(sched, wire, cfg.Config, ep.Metrics, cfg.OnFailure)
+		}
+		if cfg.RecvSide {
+			ep.Receiver = lamsdlc.NewReceiver(sched, wire, cfg.Config, ep.Metrics, cfg.Deliver)
+		}
+	}
+
+	drv.Post(func() {
+		if ep.Sender != nil {
+			ep.Sender.Start()
+		}
+		if ep.Receiver != nil {
+			ep.Receiver.Start()
+		}
+		if ep.HSender != nil {
+			ep.HSender.Start()
+		}
+		if ep.HRecv != nil {
+			ep.HRecv.Start()
+		}
+	})
+	go drv.Run()
+
+	ep.readWG.Add(1)
+	go func() {
+		defer ep.readWG.Done()
+		err := ReadStream(conn, func(raw []byte) error {
+			f, _, derr := frame.Decode(raw)
+			if derr != nil {
+				// A damaged frame: deliver it as detectably corrupted,
+				// exactly like the simulator's channel marking. Both
+				// halves ignore corrupted frames, but arrival ordering
+				// side effects (none today) stay faithful.
+				f = &frame.Frame{Corrupted: true}
+			}
+			drv.Post(func() { ep.dispatch(f) })
+			return nil
+		})
+		if err != nil && cfg.OnError != nil {
+			cfg.OnError(err)
+		}
+	}()
+	return ep
+}
+
+// dispatch routes an inbound frame to the protocol half that consumes it.
+func (ep *Endpoint) dispatch(f *frame.Frame) {
+	now := ep.Driver.sched.Now()
+	if f.Corrupted {
+		// Undecodable: receivers handle it (gap detection / discard);
+		// senders ignore corrupted control frames either way.
+		for _, h := range ep.handlers() {
+			h(now, f)
+		}
+		return
+	}
+	switch f.Kind {
+	case frame.KindI, frame.KindRequestNAK:
+		if ep.Receiver != nil {
+			ep.Receiver.HandleFrame(now, f)
+		}
+	case frame.KindCheckpoint:
+		if ep.Sender != nil {
+			ep.Sender.HandleFrame(now, f)
+		}
+	case frame.KindHDLCI:
+		if ep.HRecv != nil {
+			ep.HRecv.HandleFrame(now, f)
+		}
+	case frame.KindRR, frame.KindREJ, frame.KindSREJ:
+		if ep.HSender != nil {
+			ep.HSender.HandleFrame(now, f)
+		}
+	}
+}
+
+func (ep *Endpoint) handlers() []func(sim.Time, *frame.Frame) {
+	var hs []func(sim.Time, *frame.Frame)
+	if ep.Receiver != nil {
+		hs = append(hs, ep.Receiver.HandleFrame)
+	}
+	if ep.Sender != nil {
+		hs = append(hs, ep.Sender.HandleFrame)
+	}
+	if ep.HRecv != nil {
+		hs = append(hs, ep.HRecv.HandleFrame)
+	}
+	if ep.HSender != nil {
+		hs = append(hs, ep.HSender.HandleFrame)
+	}
+	return hs
+}
+
+// Enqueue submits a datagram on the send side from any goroutine; it
+// reports acceptance synchronously.
+func (ep *Endpoint) Enqueue(dg arq.Datagram) bool {
+	ok := false
+	switch {
+	case ep.Sender != nil:
+		ep.Driver.Call(func() { ok = ep.Sender.Enqueue(dg) })
+	case ep.HSender != nil:
+		ep.Driver.Call(func() { ok = ep.HSender.Enqueue(dg) })
+	}
+	return ok
+}
+
+// Close stops the driver, reader, and writer, and closes the connection.
+func (ep *Endpoint) Close() {
+	ep.Driver.Stop()
+	ep.conn.Close() // unblocks the reader
+	ep.readWG.Wait()
+	ep.wire.Close()
+}

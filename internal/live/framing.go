@@ -1,0 +1,118 @@
+// Package live runs the sans-IO protocol entities in real time over real
+// byte streams (net.Conn, net.Pipe, TCP): the "channels model
+// sender/receiver" execution environment, as opposed to the discrete-event
+// simulation the experiments use.
+//
+// Three pieces:
+//
+//   - flag framing (this file): HDLC-style 0x7E-delimited, byte-stuffed
+//     frames so that a damaged frame is contained and detectable instead of
+//     desynchronizing the stream — corruption surfaces exactly like the
+//     simulator's Corrupted mark;
+//   - Driver: a wall-clock event loop around sim.Scheduler, so timers and
+//     protocol callbacks run unchanged;
+//   - Endpoint: a full-duplex dispatcher binding a LAMS-DLC Sender and/or
+//     Receiver to one connection.
+package live
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// Framing constants (HDLC-style).
+const (
+	flagByte   = 0x7E
+	escapeByte = 0x7D
+	escapeXOR  = 0x20
+)
+
+// maxFrameSize bounds a deframed frame; anything larger indicates a
+// desynchronized or hostile stream.
+const maxFrameSize = 1 << 20
+
+// ErrFrameTooLarge reports an over-long frame on the stream.
+var ErrFrameTooLarge = errors.New("live: frame exceeds size limit")
+
+// AppendStuffed appends the flag-delimited, byte-stuffed encoding of
+// payload to dst.
+func AppendStuffed(dst, payload []byte) []byte {
+	dst = append(dst, flagByte)
+	for _, b := range payload {
+		if b == flagByte || b == escapeByte {
+			dst = append(dst, escapeByte, b^escapeXOR)
+			continue
+		}
+		dst = append(dst, b)
+	}
+	return append(dst, flagByte)
+}
+
+// Deframer incrementally extracts stuffed frames from a byte stream.
+// Garbage between flags is skipped; empty frames (back-to-back flags) are
+// ignored, so a shared flag between adjacent frames is legal, as in HDLC.
+type Deframer struct {
+	buf     []byte
+	escaped bool
+	inFrame bool
+}
+
+// Feed consumes stream bytes and invokes emit for each complete frame. The
+// emitted slice is only valid during the callback.
+func (d *Deframer) Feed(data []byte, emit func(frame []byte) error) error {
+	for _, b := range data {
+		switch {
+		case b == flagByte:
+			if d.inFrame && len(d.buf) > 0 {
+				frame := d.buf
+				d.buf = d.buf[:0]
+				d.escaped = false
+				if err := emit(frame); err != nil {
+					return err
+				}
+			}
+			d.inFrame = true
+			d.buf = d.buf[:0]
+			d.escaped = false
+		case !d.inFrame:
+			// Garbage outside a frame: skip until a flag.
+		case b == escapeByte:
+			d.escaped = true
+		default:
+			if d.escaped {
+				b ^= escapeXOR
+				d.escaped = false
+			}
+			d.buf = append(d.buf, b)
+			if len(d.buf) > maxFrameSize {
+				d.buf = d.buf[:0]
+				d.inFrame = false
+				return ErrFrameTooLarge
+			}
+		}
+	}
+	return nil
+}
+
+// ReadStream pumps r through the deframer until EOF or error, calling emit
+// per frame.
+func ReadStream(r io.Reader, emit func(frame []byte) error) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	buf := make([]byte, 32<<10)
+	var d Deframer
+	for {
+		n, err := br.Read(buf)
+		if n > 0 {
+			if ferr := d.Feed(buf[:n], emit); ferr != nil {
+				return ferr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}

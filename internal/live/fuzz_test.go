@@ -1,0 +1,63 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDeframer feeds arbitrary stream bytes through the deframer: it must
+// never panic, and after arbitrary garbage a well-formed frame must still
+// be extracted (self-synchronization).
+func FuzzDeframer(f *testing.F) {
+	f.Add([]byte{}, []byte("hello"))
+	f.Add([]byte{flagByte, flagByte}, []byte{flagByte, escapeByte})
+	f.Add([]byte{1, 2, 3}, []byte{0})
+	f.Fuzz(func(t *testing.T, garbage, payload []byte) {
+		if len(payload) == 0 || len(payload) > 4096 || len(garbage) > 4096 {
+			return
+		}
+		var d Deframer
+		// Garbage first: whatever it contains, ignore emissions and errors
+		// (it may itself contain valid frames).
+		_ = d.Feed(garbage, func([]byte) error { return nil })
+		// A clean flag resynchronizes the stream even if the garbage ended
+		// mid-frame or mid-escape, then the real frame must come through
+		// intact as the last emission.
+		var got [][]byte
+		stream := AppendStuffed(nil, payload)
+		if err := d.Feed(stream, func(fr []byte) error {
+			got = append(got, append([]byte(nil), fr...))
+			return nil
+		}); err != nil {
+			return // size-limit errors are legal outcomes for huge garbage
+		}
+		if len(got) == 0 {
+			t.Fatalf("frame lost after %d bytes of garbage", len(garbage))
+		}
+		if !bytes.Equal(got[len(got)-1], payload) {
+			t.Fatalf("frame corrupted after garbage: got %x want %x", got[len(got)-1], payload)
+		}
+	})
+}
+
+// FuzzStuffRoundTrip: stuffing then deframing must return the payload for
+// any byte content.
+func FuzzStuffRoundTrip(f *testing.F) {
+	f.Add([]byte{flagByte, escapeByte, 0x00})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 || len(payload) > maxFrameSize/2 {
+			return
+		}
+		var d Deframer
+		var got [][]byte
+		if err := d.Feed(AppendStuffed(nil, payload), func(fr []byte) error {
+			got = append(got, append([]byte(nil), fr...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0], payload) {
+			t.Fatalf("round trip failed for %d bytes", len(payload))
+		}
+	})
+}

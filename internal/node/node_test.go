@@ -1,0 +1,386 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/lamsdlc"
+	"repro/internal/sim"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{Src: 3, Dst: 9, Seq: 1 << 40, Payload: []byte("hello relay")}
+	got, err := DecodePacket(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != p.Src || got.Dst != p.Dst || got.Seq != p.Seq || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := DecodePacket(make([]byte, 5)); err != ErrShortPacket {
+		t.Fatalf("short packet err = %v", err)
+	}
+	if p.String() == "" {
+		t.Fatal("packet string")
+	}
+}
+
+func testCfg() lamsdlc.Config {
+	cfg := lamsdlc.Defaults(6 * sim.Millisecond)
+	cfg.CheckpointInterval = 5 * sim.Millisecond
+	cfg.CumulationDepth = 3
+	cfg.ProcTime = 10 * sim.Microsecond
+	return cfg
+}
+
+func testPipe() channel.PipeConfig {
+	return channel.PipeConfig{
+		RateBps: 100e6,
+		Delay:   channel.ConstantDelay(3 * sim.Millisecond),
+	}
+}
+
+func TestTwoNodeExchange(t *testing.T) {
+	sched := sim.NewScheduler()
+	nodes, _ := Line(sched, 2, testCfg(), testPipe(), sim.NewRNG(1))
+	a, b := nodes[0], nodes[1]
+	var atB, atA []Packet
+	b.OnDeliver = func(_ sim.Time, p Packet) { atB = append(atB, p) }
+	a.OnDeliver = func(_ sim.Time, p Packet) { atA = append(atA, p) }
+	for i := 0; i < 20; i++ {
+		if !a.Send(1, []byte{byte(i)}) {
+			t.Fatal("send refused")
+		}
+		if !b.Send(0, []byte{byte(100 + i)}) {
+			t.Fatal("reverse send refused")
+		}
+	}
+	sched.RunFor(2 * sim.Second)
+	if len(atB) != 20 || len(atA) != 20 {
+		t.Fatalf("delivered %d/%d, want 20/20", len(atB), len(atA))
+	}
+	for i, p := range atB {
+		if p.Seq != uint64(i) || p.Src != 0 || p.Payload[0] != byte(i) {
+			t.Fatalf("b got %v at %d", p, i)
+		}
+	}
+	for i, p := range atA {
+		if p.Seq != uint64(i) || p.Src != 1 {
+			t.Fatalf("a got %v at %d", p, i)
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched, 5, testCfg())
+	var got []Packet
+	n.OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
+	n.Send(5, []byte("loopback"))
+	sched.Run()
+	if len(got) != 1 || string(got[0].Payload) != "loopback" {
+		t.Fatalf("local delivery: %v", got)
+	}
+}
+
+func TestNoRouteCounted(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := New(sched, 0, testCfg())
+	if n.Send(9, nil) {
+		t.Fatal("send without route accepted")
+	}
+	if n.Stats.NoRoute.Value() != 1 {
+		t.Fatal("no-route not counted")
+	}
+}
+
+func TestThreeHopRelayLossy(t *testing.T) {
+	sched := sim.NewScheduler()
+	pipe := testPipe()
+	pipe.IModel = channel.FixedProb{P: 0.15}
+	pipe.CModel = channel.FixedProb{P: 0.03}
+	nodes, _ := Line(sched, 4, testCfg(), pipe, sim.NewRNG(2))
+	dst := nodes[3]
+	var got []Packet
+	dst.OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
+	const n = 100
+	for i := 0; i < n; i++ {
+		if !nodes[0].Send(3, []byte{byte(i)}) {
+			t.Fatalf("send %d refused", i)
+		}
+	}
+	sched.RunFor(60 * sim.Second)
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	// End-to-end exactly-once, in-order (the destination resequencer's
+	// contract), across two lossy relays.
+	for i, p := range got {
+		if p.Seq != uint64(i) {
+			t.Fatalf("order broken: got seq %d at %d", p.Seq, i)
+		}
+	}
+	if nodes[1].Stats.Forwarded.Value() != uint64(nodes[1].Stats.Forwarded.Value()) ||
+		nodes[1].Stats.Forwarded.Value() < n {
+		t.Fatalf("middle node forwarded %d", nodes[1].Stats.Forwarded.Value())
+	}
+	// The resequencer at the destination did real work or at least exists.
+	if dst.Resequencer(0) == nil {
+		t.Fatal("no resequencer instantiated for source 0")
+	}
+}
+
+func TestTransitNodesDoNotResequence(t *testing.T) {
+	// §2.3's claim: intermediate nodes forward out-of-order frames
+	// immediately, so only the destination holds a reorder buffer.
+	sched := sim.NewScheduler()
+	pipe := testPipe()
+	pipe.IModel = channel.FixedProb{P: 0.2}
+	nodes, _ := Line(sched, 3, testCfg(), pipe, sim.NewRNG(3))
+	var got []Packet
+	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
+	for i := 0; i < 80; i++ {
+		nodes[0].Send(2, []byte{byte(i)})
+	}
+	sched.RunFor(60 * sim.Second)
+	if len(got) != 80 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if nodes[1].Resequencer(0) != nil {
+		t.Fatal("transit node instantiated a resequencer")
+	}
+	if rs := nodes[2].Resequencer(0); rs == nil || rs.Stats.Released.Value() != 80 {
+		t.Fatal("destination resequencer missing or incomplete")
+	}
+}
+
+func TestLinkFailureCountsDrops(t *testing.T) {
+	sched := sim.NewScheduler()
+	nodes, links := Line(sched, 2, testCfg(), testPipe(), sim.NewRNG(4))
+	sched.RunFor(100 * sim.Millisecond)
+	// Kill the a->b data link; the DLC declares failure, after which the
+	// network layer refuses new packets on that adjacency.
+	links[0].Fail()
+	sched.RunFor(10 * sim.Second)
+	if nodes[0].Send(1, []byte("x")) {
+		t.Fatal("send on failed link accepted")
+	}
+	if nodes[0].Stats.LinkDown.Value() != 1 {
+		t.Fatalf("link-down drops = %d", nodes[0].Stats.LinkDown.Value())
+	}
+}
+
+func TestNeighborsAndSummary(t *testing.T) {
+	sched := sim.NewScheduler()
+	nodes, _ := Line(sched, 3, testCfg(), testPipe(), sim.NewRNG(5))
+	nb := nodes[1].Neighbors()
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	if nodes[1].LinkMetrics(0) == nil || nodes[1].LinkMetrics(9) != nil {
+		t.Fatal("LinkMetrics lookup")
+	}
+	if nodes[0].Summary() == "" {
+		t.Fatal("summary")
+	}
+	if nodes[0].ID() != 0 {
+		t.Fatal("id")
+	}
+}
+
+func TestLinePanicsOnTooFewNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Line(sim.NewScheduler(), 1, testCfg(), testPipe(), sim.NewRNG(1))
+}
+
+func TestBidirectionalCrossTraffic(t *testing.T) {
+	// Full-duplex chain with simultaneous flows in both directions over
+	// lossy links: both destinations see exactly-once in-order streams.
+	sched := sim.NewScheduler()
+	pipe := testPipe()
+	pipe.IModel = channel.FixedProb{P: 0.1}
+	pipe.CModel = channel.FixedProb{P: 0.02}
+	nodes, _ := Line(sched, 3, testCfg(), pipe, sim.NewRNG(10))
+	var fwd, rev []Packet
+	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { fwd = append(fwd, p) }
+	nodes[0].OnDeliver = func(_ sim.Time, p Packet) { rev = append(rev, p) }
+	const n = 60
+	for i := 0; i < n; i++ {
+		nodes[0].Send(2, []byte{byte(i)})
+		nodes[2].Send(0, []byte{byte(200 - i)})
+	}
+	sched.RunFor(60 * sim.Second)
+	if len(fwd) != n || len(rev) != n {
+		t.Fatalf("delivered fwd=%d rev=%d, want %d each", len(fwd), len(rev), n)
+	}
+	for i := range fwd {
+		if fwd[i].Seq != uint64(i) || rev[i].Seq != uint64(i) {
+			t.Fatalf("ordering broken at %d", i)
+		}
+	}
+	// The middle node forwarded both directions.
+	if nodes[1].Stats.Forwarded.Value() < 2*n {
+		t.Fatalf("middle forwarded %d", nodes[1].Stats.Forwarded.Value())
+	}
+}
+
+func TestBufferFullCounted(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := testCfg()
+	cfg.SendBufferCap = 4
+	nodes, _ := Line(sched, 2, cfg, testPipe(), sim.NewRNG(11))
+	refused := 0
+	for i := 0; i < 20; i++ {
+		if !nodes[0].Send(1, []byte{byte(i)}) {
+			refused++
+		}
+	}
+	if refused == 0 {
+		t.Fatal("tiny send buffer never refused")
+	}
+	if nodes[0].Stats.BufferFull.Value() != uint64(refused) {
+		t.Fatalf("BufferFull = %d, want %d", nodes[0].Stats.BufferFull.Value(), refused)
+	}
+}
+
+func TestMultipleSourcesResequencedIndependently(t *testing.T) {
+	// Two sources converge on one destination; each source's stream is
+	// ordered independently by its own resequencer.
+	sched := sim.NewScheduler()
+	pipe := testPipe()
+	pipe.IModel = channel.FixedProb{P: 0.15}
+	nodes, _ := Line(sched, 3, testCfg(), pipe, sim.NewRNG(12))
+	perSrc := map[ID][]uint64{}
+	nodes[2].OnDeliver = func(_ sim.Time, p Packet) {
+		perSrc[p.Src] = append(perSrc[p.Src], p.Seq)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		nodes[0].Send(2, []byte{1})
+		nodes[1].Send(2, []byte{2})
+	}
+	sched.RunFor(60 * sim.Second)
+	for src, seqs := range perSrc {
+		if len(seqs) != n {
+			t.Fatalf("src %d delivered %d", src, len(seqs))
+		}
+		for i, s := range seqs {
+			if s != uint64(i) {
+				t.Fatalf("src %d out of order at %d", src, i)
+			}
+		}
+	}
+	if len(perSrc) != 2 {
+		t.Fatalf("sources seen: %d", len(perSrc))
+	}
+}
+
+func TestRingShortestPaths(t *testing.T) {
+	sched := sim.NewScheduler()
+	nodes, _ := Ring(sched, 5, testCfg(), testPipe(), sim.NewRNG(20))
+	var got []Packet
+	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
+	// 0 -> 2 should go clockwise through 1 (2 hops, not 3).
+	for i := 0; i < 10; i++ {
+		nodes[0].Send(2, []byte{byte(i)})
+	}
+	sched.RunFor(5 * sim.Second)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if fwd := nodes[1].Stats.Forwarded.Value(); fwd != 10 {
+		t.Fatalf("node 1 forwarded %d, want 10 (shortest path)", fwd)
+	}
+	if fwd := nodes[4].Stats.Forwarded.Value(); fwd != 0 {
+		t.Fatalf("node 4 forwarded %d, want 0", fwd)
+	}
+}
+
+func TestRingFailoverReroutesAndRecoversStrandedTraffic(t *testing.T) {
+	sched := sim.NewScheduler()
+	pipe := testPipe()
+	nodes, links := Ring(sched, 5, testCfg(), pipe, sim.NewRNG(21))
+	var got []Packet
+	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
+
+	const n = 120
+	sent := 0
+	var feed func()
+	feed = func() {
+		if sent < n {
+			nodes[0].Send(2, []byte{byte(sent)})
+			sent++
+			sched.ScheduleAfter(500*sim.Microsecond, feed)
+		}
+	}
+	sched.ScheduleAfter(0, feed)
+
+	// Mid-transfer, sever the 1<->2 adjacency (both data links: indices
+	// 2 and 3 in adjacency order).
+	sched.Schedule(sim.Time(20*sim.Millisecond), func() {
+		links[2].Fail()
+		links[3].Fail()
+	})
+	// Let the DLC declare failure, then recompute routes: traffic reroutes
+	// 0 -> 4 -> 3 -> 2 and the datagrams stranded in node 1's dead sender
+	// are reclaimed and re-dispatched.
+	sched.Schedule(sim.Time(400*sim.Millisecond), func() {
+		RecomputeRoutes(nodes)
+	})
+	sched.RunFor(60 * sim.Second)
+
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d after failover", len(got), n)
+	}
+	for i, p := range got {
+		if p.Seq != uint64(i) {
+			t.Fatalf("order broken at %d after failover (seq %d)", i, p.Seq)
+		}
+	}
+	// The long way actually carried traffic.
+	if nodes[4].Stats.Forwarded.Value() == 0 || nodes[3].Stats.Forwarded.Value() == 0 {
+		t.Fatal("counter-clockwise path unused after failover")
+	}
+	rerouted := nodes[0].Stats.Rerouted.Value() + nodes[1].Stats.Rerouted.Value()
+	if rerouted == 0 {
+		t.Fatal("no stranded datagrams reclaimed")
+	}
+}
+
+func TestRecomputeRoutesPartition(t *testing.T) {
+	// Severing both adjacencies around a node partitions it; packets to it
+	// become unroutable and are counted, not silently lost.
+	sched := sim.NewScheduler()
+	nodes, links := Ring(sched, 3, testCfg(), testPipe(), sim.NewRNG(22))
+	sched.RunFor(50 * sim.Millisecond)
+	// Node 2's adjacencies: adjacency 1 (1<->2) links[2],links[3]; adjacency
+	// 2 (2<->0) links[4],links[5].
+	for _, l := range links[2:6] {
+		l.Fail()
+	}
+	sched.RunFor(10 * sim.Second) // DLC failures declared
+	RecomputeRoutes(nodes)
+	if nodes[0].Send(2, []byte("x")) {
+		t.Fatal("send to a partitioned node accepted")
+	}
+	if nodes[0].Stats.NoRoute.Value() == 0 {
+		t.Fatal("partition not reflected in NoRoute")
+	}
+	if nodes[0].Send(1, []byte("y")) != true {
+		t.Fatal("route to the still-reachable node lost")
+	}
+}
+
+func TestRingPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Ring(sim.NewScheduler(), 2, testCfg(), testPipe(), sim.NewRNG(1))
+}

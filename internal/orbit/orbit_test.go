@@ -1,0 +1,221 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOrbitPeriodLEO(t *testing.T) {
+	// A 1000 km circular orbit has a period of roughly 105 minutes.
+	o := Orbit{AltitudeM: 1000e3}
+	p := o.Period()
+	if p < 100*time.Minute || p > 110*time.Minute {
+		t.Fatalf("period = %v, want ~105min", p)
+	}
+}
+
+func TestPositionStaysOnSphere(t *testing.T) {
+	f := func(altKm uint16, incDeg, raanDeg, phaseDeg uint16, seconds uint32) bool {
+		o := Orbit{
+			AltitudeM:      500e3 + float64(altKm%1500)*1e3,
+			InclinationRad: float64(incDeg%180) * math.Pi / 180,
+			RAANRad:        float64(raanDeg%360) * math.Pi / 180,
+			PhaseRad:       float64(phaseDeg%360) * math.Pi / 180,
+		}
+		p := o.Position(time.Duration(seconds) * time.Second)
+		return math.Abs(p.Norm()-o.Radius()) < 1 // metre tolerance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionPeriodicity(t *testing.T) {
+	o := Orbit{AltitudeM: 1000e3, InclinationRad: 1.0, RAANRad: 0.5, PhaseRad: 0.25}
+	p0 := o.Position(0)
+	p1 := o.Position(o.Period())
+	if p1.Sub(p0).Norm() > 100 { // within 100 m after one period
+		t.Fatalf("position after one period off by %v m", p1.Sub(p0).Norm())
+	}
+}
+
+func TestInPlanePairConstantRange(t *testing.T) {
+	l := InPlanePair(1000e3, 30)
+	r0 := l.RangeM(0)
+	for _, dt := range []time.Duration{time.Minute, 10 * time.Minute, time.Hour} {
+		r := l.RangeM(dt)
+		if math.Abs(r-r0) > 1 {
+			t.Fatalf("in-plane range drifted: %v vs %v", r, r0)
+		}
+	}
+	// Chord length for 30 degrees at radius ~7371 km is 2*r*sin(15°).
+	want := 2 * (EarthRadiusM + 1000e3) * math.Sin(15*math.Pi/180)
+	if math.Abs(r0-want) > 1 {
+		t.Fatalf("range = %v, want %v", r0, want)
+	}
+}
+
+func TestInPlanePairPaperDistances(t *testing.T) {
+	// The paper's links are 2,000–10,000 km; check the geometry can produce
+	// that range with reasonable separations.
+	short := InPlanePair(1000e3, 16)
+	long := InPlanePair(1000e3, 85)
+	if d := short.RangeM(0); d < 1.8e6 || d > 2.4e6 {
+		t.Fatalf("short link %v m", d)
+	}
+	if d := long.RangeM(0); d < 9e6 || d > 11e6 {
+		t.Fatalf("long link %v m", d)
+	}
+}
+
+func TestVisibilityBlockedByEarth(t *testing.T) {
+	// Antipodal satellites at LEO cannot see each other through the Earth.
+	l := InPlanePair(1000e3, 180)
+	if l.Visible(0) {
+		t.Fatal("antipodal satellites should be occluded")
+	}
+	// Close satellites can.
+	l2 := InPlanePair(1000e3, 20)
+	if !l2.Visible(0) {
+		t.Fatal("nearby satellites should see each other")
+	}
+}
+
+func TestCrossPlaneWindows(t *testing.T) {
+	l := CrossPlanePair(1000e3, 60, 90, 0)
+	horizon := 4 * l.A.Period()
+	ws := l.Windows(horizon, 10*time.Second)
+	if len(ws) == 0 {
+		t.Fatal("no visibility windows found over four orbits")
+	}
+	var total time.Duration
+	for _, w := range ws {
+		if w.End <= w.Start {
+			t.Fatalf("degenerate window %v", w)
+		}
+		total += w.Duration()
+		// Every window midpoint must actually be visible.
+		mid := w.Start + w.Duration()/2
+		if !l.Visible(mid) {
+			t.Fatalf("midpoint of %v not visible", w)
+		}
+	}
+	if total >= horizon {
+		t.Fatal("satellites in crossing planes should lose sight sometimes")
+	}
+	if ws[0].String() == "" {
+		t.Fatal("window formatting broken")
+	}
+}
+
+func TestWindowsEdgeAccuracy(t *testing.T) {
+	l := CrossPlanePair(1000e3, 60, 90, 0)
+	ws := l.Windows(2*l.A.Period(), 30*time.Second)
+	if len(ws) == 0 {
+		t.Skip("no window in horizon")
+	}
+	for _, w := range ws {
+		// Just outside the refined edges visibility must flip within a
+		// small guard band (bisection refines to ~1ms).
+		if w.Start > 0 && l.Visible(w.Start-2*time.Millisecond) && !l.Visible(w.Start+2*time.Millisecond) {
+			t.Fatalf("start edge of %v mislocated", w)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := InPlanePair(1000e3, 30)
+	w := Window{Start: 0, End: 10 * time.Minute}
+	st := l.Stats(w, time.Second)
+	if st.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	if math.Abs(st.MinM-st.MaxM) > 1 {
+		t.Fatalf("constant-range link has spread %v", st.MaxM-st.MinM)
+	}
+	if math.Abs(st.MeanM-st.MidrangeM()) > 1 {
+		t.Fatalf("mean %v vs midrange %v", st.MeanM, st.MidrangeM())
+	}
+	if st.VarM2 > 1 {
+		t.Fatalf("variance %v for constant range", st.VarM2)
+	}
+	if st.AlphaM() > 1 {
+		t.Fatalf("alpha %v for constant range", st.AlphaM())
+	}
+}
+
+func TestStatsVaryingRange(t *testing.T) {
+	l := CrossPlanePair(1000e3, 60, 30, 10)
+	ws := l.Windows(2*l.A.Period(), 10*time.Second)
+	if len(ws) == 0 {
+		t.Skip("no window")
+	}
+	st := l.Stats(ws[0], time.Second)
+	if st.MaxM <= st.MinM {
+		t.Fatal("cross-plane range should vary")
+	}
+	if st.AlphaM() <= 0 {
+		t.Fatal("alpha should be positive for varying range")
+	}
+	if st.TimeoutAlpha() <= 0 {
+		t.Fatal("timeout alpha should be positive")
+	}
+	rt := st.RoundTrip()
+	want := 2 * PropagationDelay(st.MidrangeM())
+	if rt != want {
+		t.Fatalf("RoundTrip = %v, want %v", rt, want)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	d := PropagationDelay(2.99792458e8) // one light-second of range
+	if d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Fatalf("delay = %v, want ~1s", d)
+	}
+	// Paper's regime: 10–100 ms one-way for 3,000–30,000 km.
+	if d := PropagationDelay(3e6); d < 9*time.Millisecond || d > 11*time.Millisecond {
+		t.Fatalf("3000 km delay = %v", d)
+	}
+	// Round trip through the inverse.
+	if r := RangeForDelay(PropagationDelay(5e6)); math.Abs(r-5e6) > 1 {
+		t.Fatalf("RangeForDelay inverse off: %v", r)
+	}
+}
+
+func TestVec3(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	if got := v.Scale(2); got != (Vec3{6, 8, 0}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Sub(Vec3{1, 1, 1}); got != (Vec3{2, 3, -1}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Dot(Vec3{1, 2, 3}); got != 11 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestWindowsBadStepPanics(t *testing.T) {
+	l := InPlanePair(1000e3, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.Windows(time.Hour, 0)
+}
+
+func TestStatsBadStepPanics(t *testing.T) {
+	l := InPlanePair(1000e3, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.Stats(Window{0, time.Hour}, 0)
+}

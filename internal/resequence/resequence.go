@@ -1,0 +1,127 @@
+// Package resequence implements the destination-node service that LAMS-DLC's
+// relaxed reliability model requires (§2.3): because the link layer delivers
+// datagrams out of order — and, across enforced recoveries, possibly more
+// than once — "the destination node now has responsibility to provide
+// sequencing" and duplicate suppression for its users.
+//
+// The resequencer consumes datagrams keyed by per-source consecutive IDs and
+// releases them to the application exactly once, in ID order. Its buffer
+// occupancy is the destination-side cost the paper trades against the
+// subnet-wide savings of removing the in-sequence constraint; experiments
+// read it via Stats.
+package resequence
+
+import (
+	"fmt"
+
+	"repro/internal/arq"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Stats counts resequencer activity.
+type Stats struct {
+	Received   stats.Counter      // datagrams handed in by the DLC
+	Released   stats.Counter      // datagrams released in order
+	Duplicates stats.Counter      // suppressed duplicates
+	Buffered   stats.TimeWeighted // reorder-buffer occupancy
+	MaxGap     stats.Counter      // largest reorder distance observed
+}
+
+// Resequencer restores per-source FIFO order with duplicate suppression.
+type Resequencer struct {
+	next    uint64
+	held    map[uint64]arq.Datagram
+	release func(now sim.Time, dg arq.Datagram)
+	// Window bounds the reorder buffer; zero means unbounded. When the
+	// buffer is full the resequencer releases the lowest held datagram
+	// out of strict order rather than deadlock (the DLC below guarantees
+	// the gap will eventually fill, so this only triggers if the
+	// destination under-provisions the buffer the paper sizes in §2.3).
+	Window int
+
+	Stats Stats
+}
+
+// New returns a resequencer releasing in-order datagrams via release.
+func New(release func(now sim.Time, dg arq.Datagram)) *Resequencer {
+	if release == nil {
+		panic("resequence: nil release callback")
+	}
+	return &Resequencer{held: make(map[uint64]arq.Datagram), release: release}
+}
+
+// Next returns the next ID the resequencer is waiting for.
+func (r *Resequencer) Next() uint64 { return r.next }
+
+// Held returns the reorder-buffer occupancy.
+func (r *Resequencer) Held() int { return len(r.held) }
+
+// Push accepts one datagram from the DLC.
+func (r *Resequencer) Push(now sim.Time, dg arq.Datagram) {
+	r.Stats.Received.Inc()
+	if dg.ID < r.next {
+		r.Stats.Duplicates.Inc()
+		return
+	}
+	if _, dup := r.held[dg.ID]; dup {
+		r.Stats.Duplicates.Inc()
+		return
+	}
+	if gap := dg.ID - r.next; gap > r.Stats.MaxGap.Value() {
+		// Addn keeps Counter monotone; set via difference.
+		r.Stats.MaxGap.Addn(gap - r.Stats.MaxGap.Value())
+	}
+	r.held[dg.ID] = dg
+	r.drain(now)
+	if r.Window > 0 && len(r.held) > r.Window {
+		r.forceLowest(now)
+	}
+	r.Stats.Buffered.Update(int64(now), float64(len(r.held)))
+}
+
+// drain releases the contiguous prefix starting at next.
+func (r *Resequencer) drain(now sim.Time) {
+	for {
+		dg, ok := r.held[r.next]
+		if !ok {
+			return
+		}
+		delete(r.held, r.next)
+		r.next++
+		r.Stats.Released.Inc()
+		r.release(now, dg)
+	}
+}
+
+// forceLowest skips the missing IDs below the lowest held datagram and
+// releases forward from there — the overload escape hatch.
+func (r *Resequencer) forceLowest(now sim.Time) {
+	var lowest uint64
+	first := true
+	for id := range r.held {
+		if first || id < lowest {
+			lowest = id
+			first = false
+		}
+	}
+	if first {
+		return
+	}
+	r.next = lowest
+	r.drain(now)
+}
+
+// Flush releases everything held, in ID order, skipping gaps. Call at link
+// teardown when the missing datagrams are known to be rerouted elsewhere.
+func (r *Resequencer) Flush(now sim.Time) {
+	for len(r.held) > 0 {
+		r.forceLowest(now)
+	}
+}
+
+// Summary renders headline counters.
+func (r *Resequencer) Summary() string {
+	return fmt.Sprintf("released=%d dup=%d held=%d maxgap=%d",
+		r.Stats.Released.Value(), r.Stats.Duplicates.Value(), len(r.held), r.Stats.MaxGap.Value())
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled until it
+// fires; cancelling an already-fired or already-cancelled event is a no-op.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index, -1 once removed
+	fired  bool
+	cancel bool
+}
+
+// At returns the instant the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event executive: a clock plus an ordered queue of
+// pending events. Events scheduled for the same instant fire in FIFO order.
+// The zero Scheduler is ready to use.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// executed counts callbacks run; exposed for tests and for guarding
+	// against runaway simulations.
+	executed uint64
+}
+
+// NewScheduler returns a Scheduler with the clock at the epoch.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Executed returns the number of callbacks that have run.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Schedule queues fn to run at instant at. Scheduling in the past panics:
+// that is always a protocol-logic bug and silently reordering events would
+// destroy causality. Scheduling exactly at Now is allowed and fires before
+// time advances further.
+func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAfter queues fn to run d after the current instant. Negative
+// delays clamp to zero.
+func (s *Scheduler) ScheduleAfter(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Cancel removes e from the queue if it has not fired. It is safe to call
+// multiple times and on events from other schedulers only if never enqueued
+// here (the heap index guards removal).
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.fired || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 && e.index < len(s.queue) && s.queue[e.index] == e {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fired = true
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to the deadline (if it is later than the last event executed). Events
+// scheduled beyond the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d. Shorthand for RunUntil(Now+d).
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the current callback returns. Pending events
+// are preserved; the simulation can be resumed.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// NextEventAt returns the timestamp of the earliest pending event, or Never
+// if the queue is empty.
+func (s *Scheduler) NextEventAt() Time {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at
+	}
+	return Never
+}

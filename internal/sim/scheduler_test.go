@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerZeroValueReady(t *testing.T) {
+	var s Scheduler
+	ran := false
+	s.Schedule(10, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", s.Now())
+	}
+}
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	if len(order) != 100 {
+		t.Fatalf("ran %d events, want 100", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.Schedule(5, func() {})
+}
+
+func TestScheduleAtNowRuns(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.Schedule(10, func() {
+		s.Schedule(s.Now(), func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("event at current instant did not run")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.Schedule(10, func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double-cancel and cancel-nil are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	var victim *Event
+	s.Schedule(5, func() { s.Cancel(victim) })
+	victim = s.Schedule(10, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.Schedule(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(25)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events, want 2", len(ran))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(ran))
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", s.Now())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	s := NewScheduler()
+	s.RunFor(50 * Nanosecond)
+	if s.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", s.Now())
+	}
+	s.RunFor(50 * Nanosecond)
+	if s.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.Schedule(i, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events before Stop, want 3", count)
+	}
+	// Resume.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events after resume, want 10", count)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	s := NewScheduler()
+	if got := s.NextEventAt(); got != Never {
+		t.Fatalf("empty queue NextEventAt = %v, want Never", got)
+	}
+	e := s.Schedule(42, func() {})
+	if got := s.NextEventAt(); got != 42 {
+		t.Fatalf("NextEventAt = %v, want 42", got)
+	}
+	s.Cancel(e)
+	if got := s.NextEventAt(); got != Never {
+		t.Fatalf("after cancel NextEventAt = %v, want Never", got)
+	}
+}
+
+func TestSchedulerPropertyOrdering(t *testing.T) {
+	// Property: for any multiset of timestamps, execution order is the
+	// sorted order (stable for duplicates by insertion).
+	f := func(stamps []uint16) bool {
+		s := NewScheduler()
+		var got []Time
+		for _, st := range stamps {
+			at := Time(st)
+			s.Schedule(at, func() { got = append(got, at) })
+		}
+		s.Run()
+		if len(got) != len(stamps) {
+			return false
+		}
+		want := make([]Time, 0, len(stamps))
+		for _, st := range stamps {
+			want = append(want, Time(st))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerRandomCancellation(t *testing.T) {
+	// Fuzz-style: random schedule/cancel interleaving must never execute a
+	// cancelled event nor lose a live one.
+	rnd := rand.New(rand.NewSource(7))
+	s := NewScheduler()
+	type tracked struct {
+		ev        *Event
+		cancelled bool
+		ran       bool
+	}
+	var evs []*tracked
+	for i := 0; i < 2000; i++ {
+		tr := &tracked{}
+		tr.ev = s.Schedule(Time(rnd.Intn(1000)), func() { tr.ran = true })
+		evs = append(evs, tr)
+		if rnd.Intn(3) == 0 {
+			victim := evs[rnd.Intn(len(evs))]
+			if !victim.ev.Fired() {
+				s.Cancel(victim.ev)
+				victim.cancelled = true
+			}
+		}
+	}
+	s.Run()
+	for i, tr := range evs {
+		if tr.cancelled && tr.ran {
+			t.Fatalf("event %d: cancelled but ran", i)
+		}
+		if !tr.cancelled && !tr.ran {
+			t.Fatalf("event %d: live but never ran", i)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var zero Time
+	if got := zero.Add(3 * Second); got != Time(3*Second) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Never.Add(Second); got != Never {
+		t.Fatal("Never.Add should stay Never")
+	}
+	if d := Time(5 * Second).Sub(Time(2 * Second)); d != 3*Second {
+		t.Fatalf("Sub = %v, want 3s", d)
+	}
+	if !Time(1).Before(Time(2)) || Time(2).Before(Time(1)) {
+		t.Fatal("Before broken")
+	}
+	if !Time(2).After(Time(1)) || Time(1).After(Time(2)) {
+		t.Fatal("After broken")
+	}
+	if MinTime(3, 5) != 3 || MaxTime(3, 5) != 5 {
+		t.Fatal("Min/MaxTime broken")
+	}
+	if got := Time(1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+	if Never.String() != "never" {
+		t.Fatalf("Never.String = %q", Never.String())
+	}
+	if Time(time.Second).String() != "1s" {
+		t.Fatalf("String = %q", Time(time.Second).String())
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Scale(10*Millisecond, 4); got != 40*Millisecond {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Scale(Second, 0); got != 0 {
+		t.Fatalf("Scale k=0 = %v, want 0", got)
+	}
+	if got := Scale(Duration(1<<62), 4); got != Duration(1<<63-1) {
+		t.Fatalf("Scale overflow = %v, want saturated", got)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[float64]string{
+		3e8:  "300 Mbps",
+		1e9:  "1 Gbps",
+		2400: "2.4 kbps",
+		12:   "12 bps",
+	}
+	for in, want := range cases {
+		if got := FormatRate(in); got != want {
+			t.Errorf("FormatRate(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

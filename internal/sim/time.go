@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in virtual simulation time, measured in nanoseconds
+// since the start of the simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time. It aliases time.Duration so the
+// familiar constants (time.Millisecond, ...) can be used directly.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+	Minute      = time.Minute
+)
+
+// Never is a sentinel Time later than any reachable instant. Entities return
+// it from NextWake when they have no pending deadline.
+const Never = Time(1<<63 - 1)
+
+// Add returns the instant d after t. Adding to Never yields Never.
+func (t Time) Add(d Duration) Time {
+	if t == Never {
+		return Never
+	}
+	return t + Time(d)
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a floating-point number of seconds since the
+// epoch. Useful for reporting series.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as a duration since the epoch, e.g. "1.5s".
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return Duration(t).String()
+}
+
+// MinTime returns the earlier of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Scale multiplies a duration by a dimensionless factor, saturating instead
+// of overflowing. It is used for timeout arithmetic such as C_depth * W_cp.
+func Scale(d Duration, k int) Duration {
+	if k <= 0 {
+		return 0
+	}
+	prod := d * Duration(k)
+	if d > 0 && prod/Duration(k) != d {
+		return Duration(1<<63 - 1)
+	}
+	return prod
+}
+
+// FormatRate renders a bits-per-second figure using engineering units,
+// e.g. "300 Mbps".
+func FormatRate(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.3g Gbps", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.3g Mbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.3g kbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.3g bps", bps)
+	}
+}

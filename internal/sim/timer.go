@@ -1,0 +1,135 @@
+package sim
+
+// Timer is a restartable one-shot timer on a Scheduler's virtual clock. It
+// matches the timers DLC protocols are specified with: the checkpoint timer
+// is "reset to zero after each Check-Point command", the failure timer is
+// started by a Request-NAK and stopped by the Enforced-NAK.
+//
+// A Timer is created stopped. Restarting an armed timer cancels the previous
+// deadline. The callback is fixed at construction so arming is allocation-
+// light and cannot accidentally change behaviour mid-protocol.
+type Timer struct {
+	sched *Scheduler
+	fn    func()
+	ev    *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn on expiry.
+func NewTimer(sched *Scheduler, fn func()) *Timer {
+	if sched == nil {
+		panic("sim: NewTimer with nil scheduler")
+	}
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Start arms the timer to fire d from now, replacing any earlier deadline.
+func (t *Timer) Start(d Duration) {
+	t.Stop()
+	t.ev = t.sched.ScheduleAfter(d, t.expire)
+}
+
+// StartAt arms the timer to fire at the given instant, replacing any earlier
+// deadline.
+func (t *Timer) StartAt(at Time) {
+	t.Stop()
+	t.ev = t.sched.Schedule(at, t.expire)
+}
+
+// Stop disarms the timer. Stopping a stopped timer is a no-op. It reports
+// whether a pending expiry was cancelled.
+func (t *Timer) Stop() bool {
+	if t.ev == nil {
+		return false
+	}
+	pending := !t.ev.Fired() && !t.ev.Cancelled()
+	t.sched.Cancel(t.ev)
+	t.ev = nil
+	return pending
+}
+
+// Active reports whether the timer is armed and has not yet fired.
+func (t *Timer) Active() bool {
+	return t.ev != nil && !t.ev.Fired() && !t.ev.Cancelled()
+}
+
+// Deadline returns the instant the timer will fire, or Never if stopped.
+func (t *Timer) Deadline() Time {
+	if !t.Active() {
+		return Never
+	}
+	return t.ev.At()
+}
+
+func (t *Timer) expire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Ticker repeatedly invokes a callback with a fixed period, like the
+// receiver's checkpoint-command emission every W_cp. The callback runs at
+// start+period, start+2*period, ... until Stop.
+type Ticker struct {
+	sched   *Scheduler
+	period  Duration
+	fn      func()
+	ev      *Event
+	running bool
+}
+
+// NewTicker returns a stopped ticker.
+func NewTicker(sched *Scheduler, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	if fn == nil {
+		panic("sim: NewTicker with nil callback")
+	}
+	return &Ticker{sched: sched, period: period, fn: fn}
+}
+
+// Start begins ticking; the first tick fires one period from now.
+func (t *Ticker) Start() {
+	t.Stop()
+	t.running = true
+	t.arm()
+}
+
+// Stop halts the ticker. The ticker can be restarted.
+func (t *Ticker) Stop() {
+	t.running = false
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Active reports whether the ticker is running.
+func (t *Ticker) Active() bool { return t.running }
+
+// Period returns the tick period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// SetPeriod changes the period for subsequent ticks. If the ticker is
+// running, the current pending tick keeps its deadline and the new period
+// applies afterwards.
+func (t *Ticker) SetPeriod(p Duration) {
+	if p <= 0 {
+		panic("sim: SetPeriod with non-positive period")
+	}
+	t.period = p
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sched.ScheduleAfter(t.period, func() {
+		t.ev = nil
+		t.fn()
+		// The callback may have stopped or restarted the ticker; only
+		// rearm when it is still running and did not rearm itself.
+		if t.running && t.ev == nil {
+			t.arm()
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more Series as a terminal scatter chart: the
+// "figures" of the experiment harness. Each series gets a distinct glyph;
+// axes are annotated with min/max. X may be linear or log-scaled (BER
+// sweeps span decades).
+type Chart struct {
+	Title  string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	LogX   bool
+	Series []*Series
+}
+
+const chartGlyphs = "*o+x#@%&"
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xs = append(xs, c.x(p.X))
+			ys = append(ys, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if ymin > 0 && ymin < ymax/10 {
+		ymin = 0 // anchor ratio scales at zero for honest proportions
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		for _, p := range s.Points {
+			cx := int(math.Round((c.x(p.X) - xmin) / (xmax - xmin) * float64(w-1)))
+			cy := int(math.Round((p.Y - ymin) / (ymax - ymin) * float64(h-1)))
+			row := h - 1 - cy
+			if row >= 0 && row < h && cx >= 0 && cx < w {
+				grid[row][cx] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLabelTop := fmt.Sprintf("%.3g", ymax)
+	yLabelBot := fmt.Sprintf("%.3g", ymin)
+	pad := len(yLabelTop)
+	if len(yLabelBot) > pad {
+		pad = len(yLabelBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		}
+		if i == h-1 {
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	xLabelL := fmt.Sprintf("%.3g", c.invX(xmin))
+	xLabelR := fmt.Sprintf("%.3g", c.invX(xmax))
+	gap := w - len(xLabelL) - len(xLabelR)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xLabelL, strings.Repeat(" ", gap), xLabelR)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", pad), chartGlyphs[si%len(chartGlyphs)], s.Label)
+	}
+	return b.String()
+}
+
+func (c Chart) x(v float64) float64 {
+	if c.LogX && v > 0 {
+		return math.Log10(v)
+	}
+	return v
+}
+
+func (c Chart) invX(v float64) float64 {
+	if c.LogX {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,422 @@
+// Package stats provides the measurement primitives the experiment harness
+// uses to reproduce the paper's tables and figures: streaming moments
+// (Welford), duration/value histograms, time-weighted averages for queue
+// lengths, and labelled series for figure-style sweeps.
+//
+// Everything is plain data with deterministic behaviour; nothing here locks
+// or touches the wall clock, so collectors can live inside the single-
+// threaded simulation without ceremony.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates streaming mean and variance without storing samples.
+// The zero value is an empty accumulator.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation, or 0 with none.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest observation, or 0 with none.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge folds other into w, as if every observation of other had been Added
+// to w. Useful when per-entity collectors are combined for a report.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	mean := w.mean + d*float64(other.n)/float64(n)
+	m2 := w.m2 + other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean, w.m2, w.n = mean, m2, n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+// String summarizes the accumulator for reports.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g",
+		w.n, w.Mean(), w.Std(), w.Min(), w.Max())
+}
+
+// Histogram is a base-2 logarithmic-bucket histogram over non-negative
+// float64 values. Bucket i covers [2^(i-1), 2^i) with bucket 0 covering
+// [0, 1). It answers approximate quantiles, which is all the experiment
+// tables need (holding-time and delay distributions).
+type Histogram struct {
+	buckets []uint64
+	n       uint64
+	sum     float64
+	w       Welford
+}
+
+// Add records one observation; negative values clamp to zero.
+func (h *Histogram) Add(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	i := 0
+	if x >= 1 {
+		i = int(math.Floor(math.Log2(x))) + 1
+	}
+	if i >= len(h.buckets) {
+		nb := make([]uint64, i+1)
+		copy(nb, h.buckets)
+		h.buckets = nb
+	}
+	h.buckets[i]++
+	h.n++
+	h.sum += x
+	h.w.Add(x)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the exact mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Std returns the exact standard deviation of the observations.
+func (h *Histogram) Std() float64 { return h.w.Std() }
+
+// Max returns the exact maximum observation.
+func (h *Histogram) Max() float64 { return h.w.Max() }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using the
+// bucket upper edges; accurate to within a factor of 2, which suffices for
+// order-of-magnitude delay tables.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 1
+			}
+			return math.Pow(2, float64(i))
+		}
+	}
+	return h.w.Max()
+}
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// TimeWeighted tracks the time-average of a step function, e.g. queue
+// length or buffer occupancy over virtual time. Update must be called with
+// non-decreasing timestamps (in nanoseconds or any consistent unit).
+type TimeWeighted struct {
+	lastT    int64
+	lastV    float64
+	area     float64
+	started  bool
+	max      float64
+	duration int64
+}
+
+// Update records that the tracked quantity changed to v at time t.
+func (tw *TimeWeighted) Update(t int64, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.lastT, tw.lastV = t, v
+		tw.max = v
+		return
+	}
+	if t < tw.lastT {
+		panic("stats: TimeWeighted time went backwards")
+	}
+	tw.area += tw.lastV * float64(t-tw.lastT)
+	tw.duration += t - tw.lastT
+	tw.lastT, tw.lastV = t, v
+	if v > tw.max {
+		tw.max = v
+	}
+}
+
+// Mean returns the time-weighted average up to the last update.
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.duration == 0 {
+		return tw.lastV
+	}
+	return tw.area / float64(tw.duration)
+}
+
+// Max returns the largest value observed.
+func (tw *TimeWeighted) Max() float64 { return tw.max }
+
+// Current returns the most recent value.
+func (tw *TimeWeighted) Current() float64 { return tw.lastV }
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a labelled sequence of points: one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Ys returns the y values in order.
+func (s *Series) Ys() []float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	return ys
+}
+
+// Monotone reports whether the series is non-decreasing (dir > 0) or
+// non-increasing (dir < 0) in y, within a relative tolerance tol. The
+// experiment harness uses it to assert shape claims like "η rises with N".
+func (s *Series) Monotone(dir int, tol float64) bool {
+	for i := 1; i < len(s.Points); i++ {
+		prev, cur := s.Points[i-1].Y, s.Points[i].Y
+		slack := tol * math.Max(math.Abs(prev), math.Abs(cur))
+		if dir > 0 && cur < prev-slack {
+			return false
+		}
+		if dir < 0 && cur > prev+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// Crossover returns the x at which series a first drops below (or rises
+// above) series b, interpolating linearly, and reports whether a crossover
+// exists. Both series must be sampled at the same x values.
+func Crossover(a, b *Series) (float64, bool) {
+	n := len(a.Points)
+	if n != len(b.Points) || n == 0 {
+		return 0, false
+	}
+	sign := func(i int) int {
+		d := a.Points[i].Y - b.Points[i].Y
+		switch {
+		case d > 0:
+			return 1
+		case d < 0:
+			return -1
+		}
+		return 0
+	}
+	prev := sign(0)
+	for i := 1; i < n; i++ {
+		cur := sign(i)
+		if cur != prev && cur != 0 && prev != 0 {
+			// Linear interpolation of the zero of (a-b).
+			x0, x1 := a.Points[i-1].X, a.Points[i].X
+			d0 := a.Points[i-1].Y - b.Points[i-1].Y
+			d1 := a.Points[i].Y - b.Points[i].Y
+			t := d0 / (d0 - d1)
+			return x0 + t*(x1-x0), true
+		}
+		if cur != 0 {
+			prev = cur
+		}
+	}
+	return 0, false
+}
+
+// Table is a simple fixed-column text table used by the harness to print the
+// same rows the paper reports.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values; each value is rendered with %v
+// unless it is a float64, which uses %.4g.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsByColumn sorts the table rows by the numeric value of column i
+// (non-numeric cells sort last, lexically).
+func (t *Table) SortRowsByColumn(i int) {
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		va, ea := parseFloat(t.Rows[a][i])
+		vb, eb := parseFloat(t.Rows[b][i])
+		switch {
+		case ea == nil && eb == nil:
+			return va < vb
+		case ea == nil:
+			return true
+		case eb == nil:
+			return false
+		}
+		return t.Rows[a][i] < t.Rows[b][i]
+	})
+}
+
+func parseFloat(s string) (float64, error) {
+	var v float64
+	_, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v)
+	return v, err
+}

@@ -1,0 +1,163 @@
+// Package trace records protocol events for debugging and for the CLI's
+// --trace output: a fixed-capacity ring of structured events with
+// deterministic ordering (virtual time, then insertion), cheap enough to
+// leave compiled into the hot path.
+//
+// The channel layer exposes a Tap hook per pipe; Recorder implements it and
+// can also be fed protocol-level events (recoveries, releases, failures).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindTx      Kind = iota // frame entered the wire
+	KindRx                  // frame delivered to the far end
+	KindDrop                // frame lost (link down / no handler)
+	KindCorrupt             // frame marked corrupted by the channel
+	KindProto               // protocol-level note (recovery, release, ...)
+)
+
+var kindNames = [...]string{"TX", "RX", "DROP", "CORRUPT", "PROTO"}
+
+// String returns the event-kind mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Where identifies the pipe or entity ("A->B", "sender", ...).
+	Where string
+	// Frame summarizes the frame involved, if any.
+	Frame string
+	// Note carries protocol-level detail.
+	Note string
+}
+
+// String renders one line.
+func (e Event) String() string {
+	parts := []string{fmt.Sprintf("%-12v %-7s %-6s", e.At, e.Kind, e.Where)}
+	if e.Frame != "" {
+		parts = append(parts, e.Frame)
+	}
+	if e.Note != "" {
+		parts = append(parts, e.Note)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Recorder is a fixed-capacity ring buffer of events. The zero value is
+// disabled (capacity 0, every Add dropped); construct with NewRecorder.
+type Recorder struct {
+	ring  []Event
+	next  int
+	count uint64
+	// Filter, when non-nil, drops events for which it returns false.
+	Filter func(Event) bool
+}
+
+// NewRecorder returns a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Recorder{ring: make([]Event, 0, capacity)}
+}
+
+// Add records an event (subject to Filter).
+func (r *Recorder) Add(e Event) {
+	if cap(r.ring) == 0 {
+		return
+	}
+	if r.Filter != nil && !r.Filter(e) {
+		return
+	}
+	r.count++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+		return
+	}
+	r.ring[r.next] = e
+	r.next = (r.next + 1) % cap(r.ring)
+}
+
+// Total returns the number of events offered and kept (before overwrite).
+func (r *Recorder) Total() uint64 { return r.count }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if len(r.ring) < cap(r.ring) {
+		return append([]Event(nil), r.ring...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PipeTap returns a tap function for a channel pipe direction label that
+// records TX/RX/corruption events into the recorder.
+func (r *Recorder) PipeTap(where string) func(now sim.Time, kind Kind, f *frame.Frame) {
+	return func(now sim.Time, kind Kind, f *frame.Frame) {
+		e := Event{At: now, Kind: kind, Where: where}
+		if f != nil {
+			e.Frame = f.String()
+		}
+		r.Add(e)
+	}
+}
+
+// Note records a protocol-level event.
+func (r *Recorder) Note(now sim.Time, where, format string, args ...any) {
+	r.Add(Event{At: now, Kind: KindProto, Where: where, Note: fmt.Sprintf(format, args...)})
+}
+
+// ChannelTap adapts the recorder to the channel layer's tap signature for
+// one pipe direction.
+func (r *Recorder) ChannelTap(where string) func(now sim.Time, event string, f *frame.Frame) {
+	return func(now sim.Time, event string, f *frame.Frame) {
+		var k Kind
+		switch event {
+		case "tx":
+			k = KindTx
+		case "rx":
+			k = KindRx
+		case "drop":
+			k = KindDrop
+		case "corrupt":
+			k = KindCorrupt
+		default:
+			k = KindProto
+		}
+		e := Event{At: now, Kind: k, Where: where}
+		if f != nil {
+			e.Frame = f.String()
+		}
+		r.Add(e)
+	}
+}

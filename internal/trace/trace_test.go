@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Event{At: sim.Time(i), Note: string(rune('a' + i))})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d", len(evs))
+	}
+	for i, want := range []sim.Time{2, 3, 4} {
+		if evs[i].At != want {
+			t.Fatalf("events = %v", evs)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRingUnderCapacity(t *testing.T) {
+	r := NewRecorder(10)
+	r.Add(Event{At: 1})
+	r.Add(Event{At: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestZeroAndNegativeCapacity(t *testing.T) {
+	var zero Recorder
+	zero.Add(Event{At: 1})
+	if len(zero.Events()) != 0 {
+		t.Fatal("zero recorder retained events")
+	}
+	neg := NewRecorder(-5)
+	neg.Add(Event{At: 1})
+	if len(neg.Events()) != 0 {
+		t.Fatal("negative capacity retained events")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(10)
+	r.Filter = func(e Event) bool { return e.Kind == KindCorrupt }
+	r.Add(Event{Kind: KindTx})
+	r.Add(Event{Kind: KindCorrupt})
+	if len(r.Events()) != 1 || r.Events()[0].Kind != KindCorrupt {
+		t.Fatal("filter not applied")
+	}
+}
+
+func TestEventAndKindStrings(t *testing.T) {
+	e := Event{At: sim.Time(sim.Millisecond), Kind: KindRx, Where: "A->B", Frame: "I seq=1", Note: "x"}
+	s := e.String()
+	for _, want := range []string{"RX", "A->B", "I seq=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestNoteAndDump(t *testing.T) {
+	r := NewRecorder(4)
+	r.Note(sim.Time(5), "sender", "enforced recovery #%d", 1)
+	d := r.Dump()
+	if !strings.Contains(d, "enforced recovery #1") || !strings.Contains(d, "PROTO") {
+		t.Fatalf("dump = %q", d)
+	}
+}
+
+func TestChannelTapIntegration(t *testing.T) {
+	r := NewRecorder(64)
+	sched := sim.NewScheduler()
+	p := channel.NewPipe(sched, channel.PipeConfig{
+		IModel: channel.FixedProb{P: 1}, // corrupt everything
+		Tap:    r.ChannelTap("A->B"),
+	}, sim.NewRNG(1))
+	p.SetHandler(func(sim.Time, *frame.Frame) {})
+	p.Send(frame.NewI(1, 1, []byte("x")))
+	sched.Run()
+	var haveTx, haveCorrupt, haveRx bool
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindTx:
+			haveTx = true
+		case KindCorrupt:
+			haveCorrupt = true
+		case KindRx:
+			haveRx = true
+		}
+		if e.Where != "A->B" {
+			t.Fatalf("where = %q", e.Where)
+		}
+	}
+	if !haveTx || !haveCorrupt || !haveRx {
+		t.Fatalf("missing events: tx=%v corrupt=%v rx=%v\n%s", haveTx, haveCorrupt, haveRx, r.Dump())
+	}
+}
+
+func TestChannelTapDropOnDeadLink(t *testing.T) {
+	r := NewRecorder(16)
+	sched := sim.NewScheduler()
+	p := channel.NewPipe(sched, channel.PipeConfig{Tap: r.ChannelTap("x")}, sim.NewRNG(2))
+	p.SetDown(true)
+	p.Send(frame.NewI(1, 1, nil))
+	sched.Run()
+	found := false
+	for _, e := range r.Events() {
+		if e.Kind == KindDrop {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no drop event:\n%s", r.Dump())
+	}
+}
+
+func TestPipeTapDirect(t *testing.T) {
+	r := NewRecorder(4)
+	tap := r.PipeTap("B->A")
+	tap(sim.Time(1), KindTx, frame.NewRequestNAK(9))
+	tap(sim.Time(2), KindRx, nil)
+	evs := r.Events()
+	if len(evs) != 2 || !strings.Contains(evs[0].Frame, "REQNAK") || evs[1].Frame != "" {
+		t.Fatalf("events = %v", evs)
+	}
+}

@@ -1,0 +1,120 @@
+package lams
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/orbit"
+	"repro/internal/sim"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	s := NewSimulation(42)
+	lp := LinkParams{RateBps: 300e6, DistanceKm: 4000, BER: 1e-6}
+	link := s.NewLink(lp)
+	got := map[uint64]int{}
+	pair := s.NewLAMSPair(link, DefaultsFor(lp), func(_ Time, dg Datagram, _ uint32) {
+		got[dg.ID]++
+	}, nil)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if !pair.Sender.Enqueue(Datagram{ID: uint64(i), Payload: make([]byte, 1024)}) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	s.RunFor(10 * time.Second)
+	for i := 0; i < n; i++ {
+		if got[uint64(i)] == 0 {
+			t.Fatalf("datagram %d lost", i)
+		}
+	}
+	if s.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestFacadeHDLC(t *testing.T) {
+	s := NewSimulation(7)
+	lp := LinkParams{RateBps: 100e6, DistanceKm: 2000, BER: 1e-6}
+	link := s.NewLink(lp)
+	var order []uint64
+	pair := s.NewHDLCPair(link, HDLCDefaultsFor(lp), func(_ Time, dg Datagram, _ uint32) {
+		order = append(order, dg.ID)
+	})
+	for i := 0; i < 50; i++ {
+		pair.Sender.Enqueue(Datagram{ID: uint64(i), Payload: make([]byte, 512)})
+	}
+	s.RunFor(10 * time.Second)
+	if len(order) != 50 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	for i, id := range order {
+		if id != uint64(i) {
+			t.Fatal("HDLC must deliver in order")
+		}
+	}
+}
+
+func TestLinkParamsVariants(t *testing.T) {
+	// Constant distance.
+	lp := LinkParams{RateBps: 1e9, DistanceKm: 2998}
+	if d := lp.OneWay(); d < 9*time.Millisecond || d > 11*time.Millisecond {
+		t.Fatalf("one way %v for ~3000 km", d)
+	}
+	// Orbit-driven.
+	ol := orbit.InPlanePair(1000e3, 30)
+	lp2 := LinkParams{RateBps: 1e9, Orbit: &ol}
+	if lp2.OneWay() <= 0 {
+		t.Fatal("orbit delay")
+	}
+	// Perfect channel models.
+	im, cm := LinkParams{}.models()
+	if _, ok := im.(channel.Perfect); !ok {
+		t.Fatal("zero BER should be perfect")
+	}
+	if _, ok := cm.(channel.Perfect); !ok {
+		t.Fatal("zero BER control should be perfect")
+	}
+	// Burst overlay.
+	bt := &channel.BurstTrain{Period: sim.Second, BurstLen: sim.Millisecond}
+	im, cm = LinkParams{BER: 1e-6, Burst: bt}.models()
+	if _, ok := im.(channel.BurstTrain); !ok {
+		t.Fatal("burst I model")
+	}
+	if _, ok := cm.(channel.BurstTrain); !ok {
+		t.Fatal("burst C model")
+	}
+}
+
+func TestAnalysisForValid(t *testing.T) {
+	lp := LinkParams{RateBps: 300e6, DistanceKm: 4000, BER: 1e-6}
+	cfg := DefaultsFor(lp)
+	p := AnalysisFor(lp, cfg, 1024, 64, 13*time.Millisecond)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("analysis params invalid: %v", err)
+	}
+	if !(p.PC < p.PF) {
+		t.Fatal("stronger control FEC not reflected")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() uint64 {
+		s := NewSimulation(99)
+		lp := LinkParams{RateBps: 300e6, DistanceKm: 4000, BER: 1e-4}
+		link := s.NewLink(lp)
+		var count uint64
+		pair := s.NewLAMSPair(link, DefaultsFor(lp), func(_ Time, dg Datagram, _ uint32) {
+			count++
+		}, nil)
+		for i := 0; i < 100; i++ {
+			pair.Sender.Enqueue(Datagram{ID: uint64(i), Payload: make([]byte, 1024)})
+		}
+		s.RunFor(5 * time.Second)
+		return count + pair.Metrics.Retransmissions.Value()<<32
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different runs")
+	}
+}
