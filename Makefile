@@ -1,0 +1,21 @@
+# Tier-1 verification (ROADMAP.md): build everything, run everything.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# CI gate: tier-1 plus static analysis and the race detector. The parallel
+# experiment engine (internal/bench) fans simulations across a worker pool,
+# so the race run is load-bearing, not ceremony.
+.PHONY: ci
+ci: test
+	go vet ./...
+	go test -race ./...
+
+# Micro-benchmarks for the hot paths the allocation diet targets.
+.PHONY: bench
+bench:
+	go test ./internal/frame -run xxx -bench 'BenchmarkEncodeI|BenchmarkDecode'
+	go test ./internal/sim -run xxx -bench BenchmarkSchedulerChurn
+	go test ./internal/channel -run xxx -bench BenchmarkPipeSendDeliver
+	go test . -run xxx -bench 'BenchmarkE4|BenchmarkLAMSTransfer' -benchtime 1x

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/stats"
@@ -22,7 +23,11 @@ func main() {
 	runID := flag.String("run", "", "run a single experiment by ID (E1..E17)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	figures := flag.Bool("figures", false, "render each experiment's series as terminal charts")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"simulation worker goroutines per experiment (results are identical at any count)")
 	flag.Parse()
+
+	bench.SetWorkers(*workers)
 
 	if *list {
 		for _, r := range describe() {

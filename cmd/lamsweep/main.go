@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -40,8 +41,11 @@ func main() {
 		alpha   = flag.Duration("alpha", 13*time.Millisecond, "HDLC timeout slack")
 		seed    = flag.Uint64("seed", 1, "seed")
 		horizon = flag.Duration("horizon", 2*time.Minute, "virtual-time cap per run")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"simulation worker goroutines (output is identical at any count)")
 	)
 	flag.Parse()
+	bench.SetWorkers(*workers)
 
 	base := bench.RunConfig{
 		N:            *n,
@@ -71,7 +75,14 @@ func main() {
 		}
 	}
 
-	fmt.Println("param,value,protocol,delivered,lost,duplicates,elapsed_s,efficiency,s_bar,retx,mean_holding_s,mean_delay_s,sendbuf_mean,recoveries,failures")
+	// Every (value, protocol) point is an independent run: build the whole
+	// grid up front, fan it across the worker pool, and print in grid order
+	// (the CSV is byte-identical at any -workers).
+	type point struct {
+		vs  string
+		cfg bench.RunConfig
+	}
+	var points []point
 	for _, vs := range strings.Split(*values, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
 		if err != nil {
@@ -104,14 +115,25 @@ func main() {
 		}
 		for _, proto := range protoList {
 			c.Protocol = proto
-			res := bench.Run(c)
-			fmt.Printf("%s,%s,%s,%d,%d,%d,%.6f,%.5f,%.4f,%d,%.6f,%.6f,%.1f,%d,%d\n",
-				*param, vs, proto,
-				res.Delivered, res.Lost, res.Duplicates,
-				res.Elapsed.Seconds(), res.Efficiency, res.TransPerFrame,
-				res.Retransmissions, res.MeanHolding.Seconds(), res.MeanDelay.Seconds(),
-				res.SendBufMean, res.Recoveries, res.Failures)
+			points = append(points, point{vs: vs, cfg: c})
 		}
+	}
+
+	cfgs := make([]bench.RunConfig, len(points))
+	for i, pt := range points {
+		cfgs[i] = pt.cfg
+	}
+	results := bench.RunMany(cfgs)
+
+	fmt.Println("param,value,protocol,delivered,lost,duplicates,elapsed_s,efficiency,s_bar,retx,mean_holding_s,mean_delay_s,sendbuf_mean,recoveries,failures")
+	for i, pt := range points {
+		res := results[i]
+		fmt.Printf("%s,%s,%s,%d,%d,%d,%.6f,%.5f,%.4f,%d,%.6f,%.6f,%.1f,%d,%d\n",
+			*param, pt.vs, pt.cfg.Protocol,
+			res.Delivered, res.Lost, res.Duplicates,
+			res.Elapsed.Seconds(), res.Efficiency, res.TransPerFrame,
+			res.Retransmissions, res.MeanHolding.Seconds(), res.MeanDelay.Seconds(),
+			res.SendBufMean, res.Recoveries, res.Failures)
 	}
 }
 

@@ -52,15 +52,20 @@ func E1MeanPeriods() *Result {
 	pcOf := func(pf float64) float64 { return pf / 4 } // piggyback-free control channel
 	okShape := true
 	okMatch := true
-	for _, pf := range []float64{0.02, 0.05, 0.1, 0.2, 0.3} {
-		pc := pcOf(pf)
-		cl := withErrors(Base(), pf, pc)
+	pfs := []float64{0.02, 0.05, 0.1, 0.2, 0.3}
+	cfgs := make([]RunConfig, 0, 2*len(pfs))
+	for _, pf := range pfs {
+		cl := withErrors(Base(), pf, pcOf(pf))
 		cl.N = 3000
-		lams := Run(cl)
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
-		p := cl.Analytical()
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, pf := range pfs {
+		pc := pcOf(pf)
+		lams, hd := results[2*i], results[2*i+1]
+		p := cfgs[2*i].Analytical()
 		r.Table.AddRowf(pf, pc, p.SBarLAMS(), lams.TransPerFrame, p.SBarHDLC(), hd.TransPerFrame)
 		// Simulated HDLC acknowledges cumulatively, so its empirical s̄ is
 		// a hair above LAMS rather than the model's full product form;
@@ -94,14 +99,19 @@ func E2LowTrafficDelay() *Result {
 	sLams := &stats.Series{Label: "lams"}
 	sHdlc := &stats.Series{Label: "hdlc"}
 	pf, pc := 0.05, 0.01
-	for _, n := range []int{8, 16, 32, 48, 64} {
+	ns := []int{8, 16, 32, 48, 64}
+	cfgs := make([]RunConfig, 0, 2*len(ns))
+	for _, n := range ns {
 		cl := withErrors(Base(), pf, pc)
 		cl.N = n
-		lams := Run(cl)
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
-		p := cl.Analytical()
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, n := range ns {
+		lams, hd := results[2*i], results[2*i+1]
+		p := cfgs[2*i].Analytical()
 		r.Table.AddRow(fmt.Sprint(n),
 			fmtDur(analysis.Dur(p.DLowLAMS(n))), fmtDur(lams.Elapsed),
 			fmtDur(analysis.Dur(p.DLowHDLC(n, analysis.PaperPrinted))), fmtDur(hd.Elapsed))
@@ -151,7 +161,9 @@ func E3HoldingAndBuffer() *Result {
 	okHold := true
 	okBuf := true
 	okHdlc := false
-	for _, pf := range []float64{0.01, 0.05, 0.1, 0.2} {
+	pfs := []float64{0.01, 0.05, 0.1, 0.2}
+	cfgs := make([]RunConfig, 0, 2*len(pfs))
+	for _, pf := range pfs {
 		cl := withErrors(Base(), pf, pf/4)
 		p := cl.Analytical()
 
@@ -165,11 +177,15 @@ func E3HoldingAndBuffer() *Result {
 		cl.N = 80000
 		cl.OfferInterval = sim.Duration(1.1 * p.SBarLAMS() * p.Tf * float64(sim.Second))
 		cl.Horizon = 2 * sim.Second
-		lams := Run(cl)
-
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, pf := range pfs {
+		cl := cfgs[2*i]
+		lams, hd := results[2*i], results[2*i+1]
+		p := cl.Analytical()
 
 		r.Table.AddRow(fmt.Sprint(pf),
 			fmtDur(analysis.Dur(p.HFrameLAMS())), fmtDur(lams.MeanHolding),
@@ -206,14 +222,19 @@ func E4ThroughputVsTraffic() *Result {
 	sL := &stats.Series{Label: "lams-sim"}
 	sH := &stats.Series{Label: "hdlc-sim"}
 	pf, pc := 0.05, 0.0125
-	for _, n := range []int{250, 500, 1000, 2000, 4000, 8000} {
+	ns := []int{250, 500, 1000, 2000, 4000, 8000}
+	cfgs := make([]RunConfig, 0, 2*len(ns))
+	for _, n := range ns {
 		cl := withErrors(Base(), pf, pc)
 		cl.N = n
-		lams := Run(cl)
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
-		p := cl.Analytical()
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, n := range ns {
+		lams, hd := results[2*i], results[2*i+1]
+		p := cfgs[2*i].Analytical()
 		r.Table.AddRow(fmt.Sprint(n),
 			fmt.Sprintf("%.3f", p.EtaLAMS(n)), fmt.Sprintf("%.3f", lams.Efficiency),
 			fmt.Sprintf("%.3f", p.EtaHDLC(n, analysis.PaperPrinted)), fmt.Sprintf("%.3f", hd.Efficiency),
@@ -252,15 +273,22 @@ func E5ThroughputVsBER() *Result {
 	base := Base()
 	frameBits := (base.PayloadBytes + 21) * 8
 	ctrlBits := 20 * 8
-	for _, ber := range []float64{1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 2e-3} {
+	bers := []float64{1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 2e-3}
+	cfgs := make([]RunConfig, 0, 2*len(bers))
+	for _, ber := range bers {
 		pf := fec.Hamming74.FrameErrorProb(ber, frameBits)
 		pc := fec.Repetition3.FrameErrorProb(ber, ctrlBits)
 		cl := withErrors(base, pf, pc)
 		cl.N = 2000
-		lams := Run(cl)
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, ber := range bers {
+		pf := fec.Hamming74.FrameErrorProb(ber, frameBits)
+		pc := fec.Repetition3.FrameErrorProb(ber, ctrlBits)
+		lams, hd := results[2*i], results[2*i+1]
 		r.Table.AddRow(fmt.Sprintf("%.0e", ber),
 			fmt.Sprintf("%.2e", pf), fmt.Sprintf("%.2e", pc),
 			fmt.Sprintf("%.3f", lams.Efficiency), fmt.Sprintf("%.3f", hd.Efficiency),
@@ -292,16 +320,22 @@ func E6ThroughputVsDistance() *Result {
 	}
 	sL := &stats.Series{Label: "lams"}
 	sH := &stats.Series{Label: "hdlc"}
-	for _, km := range []float64{2000, 4000, 6000, 8000, 10000} {
+	kms := []float64{2000, 4000, 6000, 8000, 10000}
+	cfgs := make([]RunConfig, 0, 2*len(kms))
+	for _, km := range kms {
 		oneWay := sim.Duration(km * 1e3 / 2.99792458e8 * float64(sim.Second))
 		cl := withErrors(Base(), 0.05, 0.0125)
 		cl.OneWay = oneWay
 		cl.Alpha = oneWay // α = R/2
 		cl.N = 2000
-		lams := Run(cl)
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, km := range kms {
+		oneWay := cfgs[2*i].OneWay
+		lams, hd := results[2*i], results[2*i+1]
 		r.Table.AddRow(fmt.Sprint(km), fmtDur(2*oneWay),
 			fmt.Sprintf("%.3f", lams.Efficiency), fmt.Sprintf("%.3f", hd.Efficiency),
 			fmtRatio(lams.Efficiency, hd.Efficiency))
@@ -332,7 +366,9 @@ func E7BurstResilience() *Result {
 	okShort := true
 	okNoRecovery := true
 	okLoss := true
-	for _, burst := range []sim.Duration{5 * sim.Millisecond, 15 * sim.Millisecond, 25 * sim.Millisecond, 60 * sim.Millisecond} {
+	bursts := []sim.Duration{5 * sim.Millisecond, 15 * sim.Millisecond, 25 * sim.Millisecond, 60 * sim.Millisecond}
+	cfgs := make([]RunConfig, 0, 2*len(bursts))
+	for _, burst := range bursts {
 		mk := func() channel.BurstTrain {
 			return channel.BurstTrain{
 				Period:   250 * sim.Millisecond,
@@ -345,10 +381,14 @@ func E7BurstResilience() *Result {
 		cl.N = 3000
 		cl.IModel = mk()
 		cl.CModel = mk()
-		lams := Run(cl)
 		ch := cl
 		ch.Protocol = SRHDLC
-		hd := Run(ch)
+		cfgs = append(cfgs, cl, ch)
+	}
+	results := RunMany(cfgs)
+	for i, burst := range bursts {
+		cl, ch := cfgs[2*i], cfgs[2*i+1]
+		lams, hd := results[2*i], results[2*i+1]
 		rel := "<"
 		if burst > cdwcp {
 			rel = ">"
@@ -387,11 +427,17 @@ func E8FailureDetection() *Result {
 	}
 	okBound := true
 	okMono := true
-	prev := sim.Duration(0)
-	for _, cd := range []int{1, 2, 3, 5, 8} {
+	cds := []int{1, 2, 3, 5, 8}
+	// E8 drives its own scheduler (link kill mid-run) rather than Run, so it
+	// rides the engine's worker pool directly.
+	type e8point struct {
+		bound, detect sim.Duration
+		within        bool
+	}
+	points := mapIndexed(len(cds), func(pi int) e8point {
 		base := Base()
 		cfg := base.lamsConfig()
-		cfg.CumulationDepth = cd
+		cfg.CumulationDepth = cds[pi]
 		sched := sim.NewScheduler()
 		link := channel.NewLink(sched, base.pipe(), sim.NewRNG(7))
 		var failedAt sim.Time
@@ -409,15 +455,19 @@ func E8FailureDetection() *Result {
 		// grace, plus one interval of phase) then the failure timer
 		// (response + C_depth·W_cp).
 		bound := cfg.CheckpointTimerTimeout() + cfg.CheckpointInterval + cfg.FailureTimeout()
-		within := failedAt != 0 && detect <= bound
-		r.Table.AddRow(fmt.Sprint(cd), fmtDur(bound), fmtDur(detect), fmt.Sprint(within))
-		if !within {
+		return e8point{bound: bound, detect: detect, within: failedAt != 0 && detect <= bound}
+	})
+	prev := sim.Duration(0)
+	for i, cd := range cds {
+		pt := points[i]
+		r.Table.AddRow(fmt.Sprint(cd), fmtDur(pt.bound), fmtDur(pt.detect), fmt.Sprint(pt.within))
+		if !pt.within {
 			okBound = false
 		}
-		if detect < prev {
+		if pt.detect < prev {
 			okMono = false
 		}
-		prev = detect
+		prev = pt.detect
 	}
 	r.check("detection within the §3.2 bound", okBound,
 		"declared within C_depth·W_cp + (response + C_depth·W_cp)")
@@ -436,13 +486,19 @@ func E9FlowControl() *Result {
 	}
 	okLoss := true
 	okEngaged := true
-	for _, cap := range []int{8, 16, 32, 64} {
+	caps := []int{8, 16, 32, 64}
+	cfgs := make([]RunConfig, 0, len(caps))
+	for _, cap := range caps {
 		cl := Base()
 		cl.N = 1500
 		cl.RecvCap = cap
 		cl.Tproc = 150 * sim.Microsecond // ~5× the frame time: receiver-bound
 		cl.Horizon = 5 * sim.Minute
-		res := Run(cl)
+		cfgs = append(cfgs, cl)
+	}
+	results := RunMany(cfgs)
+	for i, cap := range caps {
+		res := results[i]
 		r.Table.AddRow(fmt.Sprint(cap), fmt.Sprint(res.Delivered),
 			fmt.Sprint(res.RecvDropped), fmt.Sprint(res.RateChanges),
 			fmt.Sprintf("%.3f", res.FinalRate), fmt.Sprint(res.Lost))
@@ -470,13 +526,22 @@ func E10NumberingSize() *Result {
 		Table: stats.NewTable("", "P_F", "I_cp", "bound(frames)", "max span sim", "within"),
 	}
 	ok := true
-	for _, pf := range []float64{0.02, 0.1, 0.25} {
-		for _, icp := range []sim.Duration{5 * sim.Millisecond, 10 * sim.Millisecond, 20 * sim.Millisecond} {
+	pfs := []float64{0.02, 0.1, 0.25}
+	icps := []sim.Duration{5 * sim.Millisecond, 10 * sim.Millisecond, 20 * sim.Millisecond}
+	cfgs := make([]RunConfig, 0, len(pfs)*len(icps))
+	for _, pf := range pfs {
+		for _, icp := range icps {
 			cl := withErrors(Base(), pf, pf/4)
 			cl.N = 4000
 			cl.Icp = icp
-			res := Run(cl)
-			p := cl.Analytical()
+			cfgs = append(cfgs, cl)
+		}
+	}
+	results := RunMany(cfgs)
+	for i, pf := range pfs {
+		for j, icp := range icps {
+			res := results[i*len(icps)+j]
+			p := cfgs[i*len(icps)+j].Analytical()
 			// The analytical bound assumes the sender is never idle; add
 			// the holding-time inflation factor s̄ for the sweep's worst
 			// case.
@@ -504,13 +569,22 @@ func E11Validation() *Result {
 		Table: stats.NewTable("", "P_F", "P_C", "N", "s̄ anal/sim", "H anal/sim", "D anal/sim"),
 	}
 	okS, okH, okD := true, true, true
-	for _, pf := range []float64{0.02, 0.1, 0.2} {
-		for _, pc := range []float64{0.002, 0.02} {
-			n := 6000
+	pfs := []float64{0.02, 0.1, 0.2}
+	pcs := []float64{0.002, 0.02}
+	cfgs := make([]RunConfig, 0, len(pfs)*len(pcs))
+	for _, pf := range pfs {
+		for _, pc := range pcs {
 			cl := withErrors(Base(), pf, pc)
-			cl.N = n
-			res := Run(cl)
-			p := cl.Analytical()
+			cl.N = 6000
+			cfgs = append(cfgs, cl)
+		}
+	}
+	results := RunMany(cfgs)
+	for i, pf := range pfs {
+		for j, pc := range pcs {
+			n := 6000
+			res := results[i*len(pcs)+j]
+			p := cfgs[i*len(pcs)+j].Analytical()
 			sA, sS := p.SBarLAMS(), res.TransPerFrame
 			hA := p.HFrameLAMS() * float64(sim.Second)
 			hS := float64(res.MeanHolding)
@@ -584,17 +658,21 @@ func E13StutterAblation() *Result {
 	}
 	okNotWorse := true
 	okStillLoses := true
-	for _, pf := range []float64{0.05, 0.15, 0.3} {
+	pfs := []float64{0.05, 0.15, 0.3}
+	cfgs := make([]RunConfig, 0, 3*len(pfs))
+	for _, pf := range pfs {
 		base := withErrors(Base(), pf, pf/4)
 		base.N = 1000
 		sr := base
 		sr.Protocol = SRHDLC
-		plain := Run(sr)
 		st := sr
 		st.Stutter = true
-		stuttered := Run(st)
-		lams := Run(base)
-		extra := float64(stuttered.Retransmissions) / float64(st.N)
+		cfgs = append(cfgs, sr, st, base)
+	}
+	results := RunMany(cfgs)
+	for i, pf := range pfs {
+		plain, stuttered, lams := results[3*i], results[3*i+1], results[3*i+2]
+		extra := float64(stuttered.Retransmissions) / float64(cfgs[3*i+1].N)
 		r.Table.AddRow(fmt.Sprint(pf),
 			fmt.Sprintf("%.3f", plain.Efficiency),
 			fmt.Sprintf("%.3f", stuttered.Efficiency),
@@ -643,8 +721,8 @@ func E14HybridFECTradeoff() *Result {
 	}
 	bers := []float64{1e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3}
 	frameBits := (Base().PayloadBytes + 21) * 8
+	cfgs := make([]RunConfig, 0, len(bers)*len(codecs))
 	for _, ber := range bers {
-		row := []string{fmt.Sprintf("%.0e", ber)}
 		for _, c := range codecs {
 			cl := Base()
 			// Large N so the per-frame code-rate tax dominates the
@@ -656,7 +734,14 @@ func E14HybridFECTradeoff() *Result {
 			cl.CModel = channel.BSC{BER: ber, Scheme: fec.Repetition3}
 			cl.IExpansion = c.scheme.Overhead()
 			cl.CExpansion = fec.Repetition3.Overhead()
-			res := Run(cl)
+			cfgs = append(cfgs, cl)
+		}
+	}
+	results := RunMany(cfgs)
+	for i, ber := range bers {
+		row := []string{fmt.Sprintf("%.0e", ber)}
+		for j, c := range codecs {
+			res := results[i*len(codecs)+j]
 			eff := res.Efficiency
 			if res.Lost > 0 {
 				eff = 0 // could not complete within the horizon
@@ -694,20 +779,25 @@ func E15InSequenceCost() *Result {
 	}
 	okLadder := true
 	okBuffers := true
-	for _, pf := range []float64{0.02, 0.1, 0.25} {
+	pfs := []float64{0.02, 0.1, 0.25}
+	cfgs := make([]RunConfig, 0, 3*len(pfs))
+	for _, pf := range pfs {
 		base := withErrors(Base(), pf, pf/4)
 		base.N = 1000
 		gbn := base
 		gbn.Protocol = GBNHDLC
-		g := Run(gbn)
 		sr := base
 		sr.Protocol = SRHDLC
-		s := Run(sr)
-		l := Run(base)
+		cfgs = append(cfgs, gbn, sr, base)
+	}
+	results := RunMany(cfgs)
+	for i, pf := range pfs {
+		g, s, l := results[3*i], results[3*i+1], results[3*i+2]
+		n := cfgs[3*i].N
 		r.Table.AddRow(fmt.Sprint(pf),
 			fmt.Sprintf("%.3f", g.Efficiency), fmt.Sprintf("%.3f", s.Efficiency),
 			fmt.Sprintf("%.3f", l.Efficiency),
-			fmt.Sprintf("%.2f", float64(g.Retransmissions)/float64(base.N)),
+			fmt.Sprintf("%.2f", float64(g.Retransmissions)/float64(n)),
 			fmt.Sprintf("%.0f", s.RecvBufMax), fmt.Sprintf("%.0f", l.RecvBufMax))
 		if !(g.Efficiency <= s.Efficiency*1.02 && s.Efficiency < l.Efficiency) {
 			okLadder = false
@@ -743,14 +833,20 @@ func E16DelayThroughput() *Result {
 	p := base.Analytical()
 	// Sustainable inter-arrival: s̄·t_f.
 	sustain := p.SBarLAMS() * p.Tf
-	for _, load := range []float64{0.3, 0.6, 0.9, 1.0, 1.1} {
+	loads := []float64{0.3, 0.6, 0.9, 1.0, 1.1}
+	cfgs := make([]RunConfig, 0, len(loads))
+	for _, load := range loads {
 		cl := base
 		cl.Poisson = true // stochastic arrivals expose queueing delay
 		cl.OfferInterval = sim.Duration(sustain / load * float64(sim.Second))
 		cl.N = int(2.0 / (sustain / load)) // ~2 virtual seconds of arrivals
 		cl.Horizon = sim.Minute
-		res := Run(cl)
-		goodput := res.Efficiency * cl.RateBps / 1e6
+		cfgs = append(cfgs, cl)
+	}
+	results := RunMany(cfgs)
+	for i, load := range loads {
+		res := results[i]
+		goodput := res.Efficiency * cfgs[i].RateBps / 1e6
 		r.Table.AddRow(fmt.Sprintf("%.2f", load),
 			fmt.Sprintf("%.1f", goodput),
 			fmtDur(res.MeanDelay),
@@ -786,13 +882,19 @@ func E17CheckpointIntervalAblation() *Result {
 	okHold := true
 	prevCtrl := uint64(1 << 62)
 	okCtrl := true
-	for _, icp := range []sim.Duration{2 * sim.Millisecond, 5 * sim.Millisecond,
-		10 * sim.Millisecond, 20 * sim.Millisecond, 40 * sim.Millisecond} {
+	icps := []sim.Duration{2 * sim.Millisecond, 5 * sim.Millisecond,
+		10 * sim.Millisecond, 20 * sim.Millisecond, 40 * sim.Millisecond}
+	cfgs := make([]RunConfig, 0, len(icps))
+	for _, icp := range icps {
 		cl := withErrors(Base(), 0.05, 0.0125)
 		cl.N = 3000
 		cl.Icp = icp
-		res := Run(cl)
-		p := cl.Analytical()
+		cfgs = append(cfgs, cl)
+	}
+	results := RunMany(cfgs)
+	for i, icp := range icps {
+		res := results[i]
+		p := cfgs[i].Analytical()
 		r.Table.AddRow(fmtDur(icp),
 			fmtDur(analysis.Dur(p.HFrameLAMS())), fmtDur(res.MeanHolding),
 			fmt.Sprintf("%.0f", p.BLAMS()),

@@ -19,6 +19,11 @@ func newTestPipe(t *testing.T, cfg PipeConfig) (*sim.Scheduler, *Pipe, *[]*frame
 	var got []*frame.Frame
 	var at []sim.Time
 	p.SetHandler(func(now sim.Time, f *frame.Frame) {
+		if f.Kind.Control() || f.Corrupted {
+			// The pipe recycles these after the handler returns; the tests
+			// below inspect them post-run, so keep a private copy.
+			f = f.Clone()
+		}
 		got = append(got, f)
 		at = append(at, now)
 	})
@@ -89,15 +94,21 @@ func TestPipeInfiniteRate(t *testing.T) {
 	}
 }
 
-func TestPipeClonesFrames(t *testing.T) {
+func TestPipeCopiesFrameHeader(t *testing.T) {
+	// Send takes a shallow copy: header mutations after Send (HDLC-style
+	// renumbering/re-flagging) must not affect the frame in flight. Payload
+	// bytes alias by contract — the sender must not mutate them.
 	sched, p, got, _ := newTestPipe(t, PipeConfig{})
 	f := iframe(1, 10)
 	p.Send(f)
 	f.Seq = 999
-	f.Payload[0] = 0xFF
+	f.Corrupted = true
 	sched.Run()
-	if (*got)[0].Seq != 1 || (*got)[0].Payload[0] != 0 {
-		t.Fatal("in-flight frame shares state with sender's copy")
+	if (*got)[0].Seq != 1 || (*got)[0].Corrupted {
+		t.Fatal("in-flight frame shares header state with sender's copy")
+	}
+	if &(*got)[0].Payload[0] != &f.Payload[0] {
+		t.Fatal("payload should alias the sender's slice (no deep copy on the hot path)")
 	}
 }
 

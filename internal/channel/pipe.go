@@ -10,6 +10,12 @@ import (
 )
 
 // Handler consumes frames arriving at the far end of a pipe.
+//
+// Ownership: an information frame (I, HDLC-I) becomes the handler's — it may
+// retain the *Frame and its Payload indefinitely. Control frames and frames
+// marked Corrupted are recycled by the pipe as soon as the handler returns;
+// a handler that wants to keep one must Clone it. Every protocol entity in
+// this repository consumes control frames within the callback.
 type Handler func(now sim.Time, f *frame.Frame)
 
 // DelayFn returns the one-way propagation delay for a frame departing the
@@ -142,13 +148,23 @@ func (p *Pipe) QueueingDelay() sim.Duration {
 	return p.busyUntil.Sub(now)
 }
 
-// Send transmits a clone of f. The frame starts serializing when the wire is
+// Send transmits a copy of f. The frame starts serializing when the wire is
 // free, occupies it for TxTime, suffers the error process, propagates, and
 // is delivered to the handler. Send never blocks; back-to-back sends queue
 // on the wire, which is how the protocols' send pacing is modelled.
+//
+// The in-flight copy is shallow: header fields are copied (so a
+// retransmitting protocol may keep renumbering or re-flagging its own
+// frame), but Payload and NAKs alias the caller's slices — the caller must
+// not mutate those bytes after Send. Both protocols here satisfy this by
+// construction: retransmissions build fresh frames around an immutable
+// datagram payload, and NAK lists are born at Send time. Skipping the deep
+// copy is what keeps a multi-gigabyte sweep from spending its time in
+// memmove: at 1 KiB payloads the clone used to dominate the per-frame cost.
 func (p *Pipe) Send(f *frame.Frame) {
 	now := p.sched.Now()
-	g := f.Clone()
+	g := frame.Get()
+	*g = *f
 	start := sim.MaxTime(now, p.busyUntil)
 	tx := p.TxTime(g)
 	depart := start.Add(tx)
@@ -180,6 +196,7 @@ func (p *Pipe) Send(f *frame.Frame) {
 		if p.cfg.Tap != nil {
 			p.cfg.Tap(now, "drop", g)
 		}
+		frame.Put(g)
 		return
 	}
 
@@ -190,12 +207,13 @@ func (p *Pipe) Send(f *frame.Frame) {
 		arrival = p.lastArrival + 1
 	}
 	p.lastArrival = arrival
-	p.sched.Schedule(arrival, func() {
+	p.sched.ScheduleDetached(arrival, func() {
 		if p.down || p.handler == nil {
 			p.Stats.FramesLost.Inc()
 			if p.cfg.Tap != nil {
 				p.cfg.Tap(p.sched.Now(), "drop", g)
 			}
+			frame.Put(g)
 			return
 		}
 		p.Stats.FramesDelivered.Inc()
@@ -203,6 +221,12 @@ func (p *Pipe) Send(f *frame.Frame) {
 			p.cfg.Tap(p.sched.Now(), "rx", g)
 		}
 		p.handler(p.sched.Now(), g)
+		// Control and corrupted frames are consumed inside the handler
+		// (see Handler); recycle them. Information frames now belong to
+		// the receiver.
+		if g.Kind.Control() || g.Corrupted {
+			frame.Put(g)
+		}
 	})
 }
 

@@ -302,12 +302,16 @@ func Decode(buf []byte) (*Frame, int, error) {
 // DecodeFrom parses one frame from buf into f (gopacket-style reuse: the
 // caller may hold one Frame and decode into it repeatedly; Payload and NAKs
 // are copied out of buf so the frame stays valid after the buffer is
-// recycled). It returns the number of bytes consumed.
+// recycled). The copies reuse f's existing Payload and NAKs capacity, so a
+// steady-state decode loop stops allocating — which also means the previous
+// decode's Payload/NAKs are only valid until the next DecodeFrom into the
+// same Frame. It returns the number of bytes consumed.
 func (f *Frame) DecodeFrom(buf []byte) (int, error) {
 	if len(buf) < 1 {
 		return 0, ErrTruncated
 	}
 	k := Kind(buf[0])
+	payload, naks := f.Payload[:0], f.NAKs[:0]
 	*f = Frame{Kind: k}
 	switch k {
 	case KindI:
@@ -329,7 +333,7 @@ func (f *Frame) DecodeFrom(buf []byte) (int, error) {
 		if !crc.CheckSum32(body, sum) {
 			return 0, ErrBadChecksum
 		}
-		f.Payload = append([]byte(nil), buf[iHeaderLen:iHeaderLen+plen]...)
+		f.Payload = append(payload, buf[iHeaderLen:iHeaderLen+plen]...)
 		return total, nil
 
 	case KindCheckpoint:
@@ -354,11 +358,11 @@ func (f *Frame) DecodeFrom(buf []byte) (int, error) {
 			return 0, ErrBadChecksum
 		}
 		if cnt > 0 {
-			f.NAKs = make([]uint32, cnt)
 			off := cpHeaderLen + sizeofNAKCnt
-			for i := range f.NAKs {
-				f.NAKs[i] = binary.BigEndian.Uint32(buf[off+4*i:])
+			for i := 0; i < cnt; i++ {
+				naks = append(naks, binary.BigEndian.Uint32(buf[off+4*i:]))
 			}
+			f.NAKs = naks
 		}
 		return total, nil
 
@@ -396,7 +400,7 @@ func (f *Frame) DecodeFrom(buf []byte) (int, error) {
 		if !crc.CheckSum32(body, sum) {
 			return 0, ErrBadChecksum
 		}
-		f.Payload = append([]byte(nil), buf[hdlcILen:hdlcILen+plen]...)
+		f.Payload = append(payload, buf[hdlcILen:hdlcILen+plen]...)
 		return total, nil
 
 	case KindRR, KindREJ, KindSREJ:

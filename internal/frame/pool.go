@@ -1,0 +1,23 @@
+package frame
+
+import "sync"
+
+// The simulation's hot path creates one short-lived Frame per transmission
+// (the channel's in-flight copy) and one per control exchange. Recycling
+// them through a pool keeps a multi-thousand-frame experiment run from
+// pressuring the allocator; the pool is shared process-wide and safe for
+// the parallel experiment engine's concurrent runs.
+var pool = sync.Pool{New: func() any { return new(Frame) }}
+
+// Get returns a zeroed Frame from the package pool.
+func Get() *Frame { return pool.Get().(*Frame) }
+
+// Put resets f and returns it to the pool. The reset drops the Payload and
+// NAKs references rather than retaining their capacity: pooled frames alias
+// caller-owned slices (see Pipe.Send), and reusing that memory for a later
+// frame would scribble over live data. The caller must not touch f after
+// Put, and must not Put a frame any other component still references.
+func Put(f *Frame) {
+	*f = Frame{}
+	pool.Put(f)
+}

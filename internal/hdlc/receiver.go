@@ -120,7 +120,9 @@ func (r *Receiver) onGap(f *frame.Frame) {
 		if _, dup := r.held[f.Seq]; dup {
 			return // duplicate of a held frame
 		}
-		r.held[f.Seq] = f.Clone()
+		// Information frames belong to the handler (channel.Handler), so
+		// the out-of-order buffer can hold the frame itself — no copy.
+		r.held[f.Seq] = f
 		r.noteRecvOccupancy()
 		// SREJ each newly discovered missing frame exactly once; the
 		// sender's timeout covers SREJ losses.

@@ -145,7 +145,7 @@ func (r *Receiver) processNext() {
 		return
 	}
 	r.procBusy = true
-	r.sched.ScheduleAfter(r.cfg.ProcTime, func() {
+	r.sched.ScheduleAfterDetached(r.cfg.ProcTime, func() {
 		f := r.procQueue[0]
 		r.procQueue = r.procQueue[1:]
 		r.procBusy = false

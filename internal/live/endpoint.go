@@ -28,6 +28,10 @@ type connWire struct {
 	// Dropping is safe — to the protocol a full transmit queue is
 	// indistinguishable from wire loss, which it recovers from by design.
 	dropped uint64
+	// enc is the encode scratch buffer. Send is only ever called from the
+	// driver loop with the driver mutex held, so a single buffer suffices;
+	// only the flag-stuffed copy crosses the channel to the writer.
+	enc []byte
 }
 
 func newConnWire(w io.Writer, rateBps float64, onError func(error)) *connWire {
@@ -58,7 +62,8 @@ func newConnWire(w io.Writer, rateBps float64, onError func(error)) *connWire {
 // corrupted or invalid frames, which entities never emit) are reported via
 // onError.
 func (cw *connWire) Send(f *frame.Frame) {
-	raw, err := f.Encode()
+	raw, err := f.AppendEncode(cw.enc[:0])
+	cw.enc = raw[:0]
 	if err != nil {
 		if cw.onError != nil {
 			cw.onError(err)

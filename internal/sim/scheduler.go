@@ -14,6 +14,10 @@ type Event struct {
 	index  int // heap index, -1 once removed
 	fired  bool
 	cancel bool
+	// detached marks an event scheduled via ScheduleDetached: no handle
+	// escaped to the caller, so the scheduler may recycle the Event object
+	// once it leaves the queue.
+	detached bool
 }
 
 // At returns the instant the event is (or was) scheduled to fire.
@@ -65,6 +69,10 @@ type Scheduler struct {
 	// executed counts callbacks run; exposed for tests and for guarding
 	// against runaway simulations.
 	executed uint64
+	// free is the recycle list for detached events. Only events whose
+	// handle never escaped (ScheduleDetached) are returned here, so reuse
+	// can never alias a handle a caller still holds.
+	free []*Event
 }
 
 // NewScheduler returns a Scheduler with the clock at the epoch.
@@ -84,16 +92,16 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // destroy causality. Scheduling exactly at Now is allowed and fires before
 // time advances further.
 func (s *Scheduler) Schedule(at Time, fn func()) *Event {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
-	}
-	if fn == nil {
-		panic("sim: schedule with nil callback")
-	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	return s.schedule(at, fn, false)
+}
+
+// ScheduleDetached queues fn like Schedule but returns no handle: the event
+// cannot be cancelled, and the scheduler recycles the Event object after it
+// fires. Hot paths that never cancel (frame deliveries, receive-processing
+// completions, workload arrivals) use it to keep the event churn of a long
+// sweep allocation-free.
+func (s *Scheduler) ScheduleDetached(at Time, fn func()) {
+	s.schedule(at, fn, true)
 }
 
 // ScheduleAfter queues fn to run d after the current instant. Negative
@@ -103,6 +111,48 @@ func (s *Scheduler) ScheduleAfter(d Duration, fn func()) *Event {
 		d = 0
 	}
 	return s.Schedule(s.now.Add(d), fn)
+}
+
+// ScheduleAfterDetached is ScheduleAfter without a cancel handle; see
+// ScheduleDetached.
+func (s *Scheduler) ScheduleAfterDetached(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.ScheduleDetached(s.now.Add(d), fn)
+}
+
+func (s *Scheduler) schedule(at Time, fn func(), detached bool) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*e = Event{}
+	} else {
+		e = &Event{}
+	}
+	e.at, e.seq, e.fn, e.detached = at, s.seq, fn, detached
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// retire takes an event that left the queue: the callback reference is
+// dropped so completed closures (and everything they capture) become
+// garbage-collectable during long sweeps, and detached events return to the
+// recycle list.
+func (s *Scheduler) retire(e *Event) {
+	e.fn = nil
+	if e.detached {
+		s.free = append(s.free, e)
+	}
 }
 
 // Cancel removes e from the queue if it has not fired. It is safe to call
@@ -115,6 +165,9 @@ func (s *Scheduler) Cancel(e *Event) {
 	e.cancel = true
 	if e.index >= 0 && e.index < len(s.queue) && s.queue[e.index] == e {
 		heap.Remove(&s.queue, e.index)
+		// The handle stays with the caller (never recycled), but the
+		// closure is dead weight from here on.
+		e.fn = nil
 	}
 }
 
@@ -124,12 +177,18 @@ func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.cancel {
+			s.retire(e)
 			continue
 		}
 		s.now = e.at
 		e.fired = true
 		s.executed++
-		e.fn()
+		fn := e.fn
+		// Retire before invoking: e is off the heap and, if detached, has
+		// no outstanding references, so the callback may immediately reuse
+		// the slot for events it schedules.
+		s.retire(e)
+		fn()
 		return true
 	}
 	return false
@@ -167,7 +226,7 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) NextEventAt() Time {
 	for len(s.queue) > 0 {
 		if s.queue[0].cancel {
-			heap.Pop(&s.queue)
+			s.retire(heap.Pop(&s.queue).(*Event))
 			continue
 		}
 		return s.queue[0].at

@@ -300,3 +300,45 @@ func TestFormatRate(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkSchedulerChurn measures the schedule→fire cycle that dominates a
+// simulation run. Detached events recycle through the scheduler's freelist,
+// so the steady state should run allocation-free.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			s.ScheduleAfterDetached(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	s.ScheduleAfterDetached(Microsecond, tick)
+	s.Run()
+	if fired != b.N {
+		b.Fatalf("fired %d, want %d", fired, b.N)
+	}
+}
+
+// BenchmarkSchedulerChurnHandles is the contrast case: handle-returning
+// events cannot be recycled (a retained handle could Cancel a reused slot),
+// so each one costs an allocation.
+func BenchmarkSchedulerChurnHandles(b *testing.B) {
+	s := NewScheduler()
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			s.ScheduleAfter(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	s.ScheduleAfter(Microsecond, tick)
+	s.Run()
+	if fired != b.N {
+		b.Fatalf("fired %d, want %d", fired, b.N)
+	}
+}

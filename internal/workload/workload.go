@@ -70,10 +70,10 @@ func NewConstantRate(sched *sim.Scheduler, sink Sink, interval sim.Duration, siz
 		}
 		g.offer()
 		if g.remaining != 0 {
-			sched.ScheduleAfter(interval, g.next)
+			sched.ScheduleAfterDetached(interval, g.next)
 		}
 	}
-	sched.ScheduleAfter(0, g.next)
+	sched.ScheduleAfterDetached(0, g.next)
 	return g
 }
 
@@ -90,10 +90,10 @@ func NewPoisson(sched *sim.Scheduler, rng *sim.RNG, sink Sink, meanInterval sim.
 		}
 		g.offer()
 		if g.remaining != 0 {
-			sched.ScheduleAfter(rng.ExpDuration(meanInterval), g.next)
+			sched.ScheduleAfterDetached(rng.ExpDuration(meanInterval), g.next)
 		}
 	}
-	sched.ScheduleAfter(rng.ExpDuration(meanInterval), g.next)
+	sched.ScheduleAfterDetached(rng.ExpDuration(meanInterval), g.next)
 	return g
 }
 
@@ -115,10 +115,10 @@ func NewSaturating(sched *sim.Scheduler, sink Sink, pollInterval sim.Duration, s
 			}
 		}
 		if g.remaining != 0 {
-			sched.ScheduleAfter(pollInterval, g.next)
+			sched.ScheduleAfterDetached(pollInterval, g.next)
 		}
 	}
-	sched.ScheduleAfter(0, g.next)
+	sched.ScheduleAfterDetached(0, g.next)
 	return g
 }
 
@@ -139,14 +139,14 @@ func NewOnOff(sched *sim.Scheduler, sink Sink, interval, onFor, offFor sim.Durat
 		if now >= phaseEnd {
 			// Enter the off phase, then resume.
 			phaseEnd = now.Add(offFor).Add(onFor)
-			sched.ScheduleAfter(offFor, g.next)
+			sched.ScheduleAfterDetached(offFor, g.next)
 			return
 		}
 		g.offer()
 		if g.remaining != 0 {
-			sched.ScheduleAfter(interval, g.next)
+			sched.ScheduleAfterDetached(interval, g.next)
 		}
 	}
-	sched.ScheduleAfter(0, g.next)
+	sched.ScheduleAfterDetached(0, g.next)
 	return g
 }
