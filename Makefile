@@ -8,9 +8,18 @@ test:
 # experiment engine (internal/bench) fans simulations across a worker pool,
 # so the race run is load-bearing, not ceremony.
 .PHONY: ci
-ci: test
+ci: test cover
 	go vet ./...
 	go test -race ./...
+
+# Aggregate statement coverage across all packages. The per-function
+# breakdown lands in coverage.txt; the baseline is recorded in
+# EXPERIMENTS.md so drift is visible in review.
+.PHONY: cover
+cover:
+	go test -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out > coverage.txt
+	@tail -1 coverage.txt
 
 # Micro-benchmarks for the hot paths the allocation diet targets.
 .PHONY: bench

@@ -13,15 +13,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/channel"
 	"repro/internal/fec"
+	"repro/internal/frame"
+	"repro/internal/live"
+	"repro/internal/metrics"
 	"repro/internal/orbit"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// chainTaps fans one pipe direction's events out to every non-nil tap.
+func chainTaps(taps ...channel.Tap) channel.Tap {
+	var set []channel.Tap
+	for _, t := range taps {
+		if t != nil {
+			set = append(set, t)
+		}
+	}
+	switch len(set) {
+	case 0:
+		return nil
+	case 1:
+		return set[0]
+	}
+	return func(now sim.Time, event string, f *frame.Frame) {
+		for _, t := range set {
+			t(now, event, f)
+		}
+	}
+}
 
 func main() {
 	var (
@@ -41,6 +66,9 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		horizon = flag.Duration("horizon", 10*time.Minute, "virtual-time safety stop")
 		traceN  = flag.Int("trace", 0, "dump the last N link events after the run")
+
+		traceOut    = flag.String("trace-out", "", "stream the full link-event trace to this file as JSONL")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address; the process stays up after the run until interrupted")
 	)
 	flag.Parse()
 
@@ -86,9 +114,34 @@ func main() {
 	var rec *trace.Recorder
 	if *traceN > 0 {
 		rec = trace.NewRecorder(*traceN)
-		c.TapAB = rec.ChannelTap("A->B")
-		c.TapBA = rec.ChannelTap("B->A")
 	}
+	var jsonl *trace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lamsim: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		jsonl = trace.NewJSONL(f)
+	}
+	if rec != nil || jsonl != nil {
+		c.TapAB = chainTaps(rec.ChannelTap("A->B"), jsonl.ChannelTap("A->B"))
+		c.TapBA = chainTaps(rec.ChannelTap("B->A"), jsonl.ChannelTap("B->A"))
+	}
+
+	var msrv *live.MetricsServer
+	if *metricsAddr != "" {
+		c.Metrics = metrics.New()
+		var err error
+		msrv, err = live.ServeMetrics(*metricsAddr, c.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lamsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics         http://%s/metrics (pprof under /debug/pprof/)\n", msrv.Addr)
+	}
+
 	res := bench.Run(c)
 
 	fmt.Printf("protocol        %v\n", res.Protocol)
@@ -113,6 +166,20 @@ func main() {
 	}
 	if rec != nil {
 		fmt.Printf("\n--- last %d link events ---\n%s", len(rec.Events()), rec.Dump())
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "lamsim: trace export: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace           %d events -> %s\n", jsonl.Count(), *traceOut)
+	}
+	if msrv != nil {
+		fmt.Printf("metrics         final counters stay scrapeable; interrupt (ctrl-c) to exit\n")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		msrv.Close()
 	}
 	if res.Lost > 0 {
 		os.Exit(1)

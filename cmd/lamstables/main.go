@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 
 	"repro/internal/bench"
 	"repro/internal/stats"
@@ -23,6 +24,8 @@ func main() {
 	runID := flag.String("run", "", "run a single experiment by ID (E1..E17)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	figures := flag.Bool("figures", false, "render each experiment's series as terminal charts")
+	withMetrics := flag.Bool("metrics", false,
+		"print the metrics snapshots experiments attach (protocol internals as JSON)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"simulation worker goroutines per experiment (results are identical at any count)")
 	flag.Parse()
@@ -58,6 +61,16 @@ func main() {
 				Series: r.Series,
 				LogX:   logX,
 			}.Render())
+		}
+		if *withMetrics && len(r.Snapshots) > 0 {
+			labels := make([]string, 0, len(r.Snapshots))
+			for label := range r.Snapshots {
+				labels = append(labels, label)
+			}
+			sort.Strings(labels)
+			for _, label := range labels {
+				fmt.Printf("metrics %s %s\n", label, r.Snapshots[label].JSON())
+			}
 		}
 		if !r.Passed() {
 			failed++

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,8 @@ func main() {
 		horizon = flag.Duration("horizon", 2*time.Minute, "virtual-time cap per run")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"simulation worker goroutines (output is identical at any count)")
+		withMetrics = flag.Bool("metrics", false,
+			"append a metrics_json column with each run's full counter snapshot")
 	)
 	flag.Parse()
 	bench.SetWorkers(*workers)
@@ -125,16 +128,40 @@ func main() {
 	}
 	results := bench.RunMany(cfgs)
 
-	fmt.Println("param,value,protocol,delivered,lost,duplicates,elapsed_s,efficiency,s_bar,retx,mean_holding_s,mean_delay_s,sendbuf_mean,recoveries,failures")
+	header := "param,value,protocol,delivered,lost,duplicates,elapsed_s,efficiency,s_bar,retx,mean_holding_s,mean_delay_s,sendbuf_mean,recoveries,failures"
+	if *withMetrics {
+		header += ",metrics_json"
+	}
+	fmt.Println(header)
 	for i, pt := range points {
 		res := results[i]
-		fmt.Printf("%s,%s,%s,%d,%d,%d,%.6f,%.5f,%.4f,%d,%.6f,%.6f,%.1f,%d,%d\n",
+		fmt.Printf("%s,%s,%s,%d,%d,%d,%.6f,%.5f,%.4f,%d,%.6f,%.6f,%.1f,%d,%d",
 			*param, pt.vs, pt.cfg.Protocol,
 			res.Delivered, res.Lost, res.Duplicates,
 			res.Elapsed.Seconds(), res.Efficiency, res.TransPerFrame,
 			res.Retransmissions, res.MeanHolding.Seconds(), res.MeanDelay.Seconds(),
 			res.SendBufMean, res.Recoveries, res.Failures)
+		if *withMetrics {
+			fmt.Printf(",%s", csvQuote(snapshotJSON(res)))
+		}
+		fmt.Println()
 	}
+}
+
+// snapshotJSON renders the run's counter set as a compact JSON object
+// (counters only: gauges and histograms are per-instant/per-distribution
+// detail that belongs on the /metrics endpoint, not in a sweep row).
+func snapshotJSON(res bench.RunResult) string {
+	b, err := json.Marshal(res.Snapshot.Counters)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// csvQuote wraps s in double quotes with RFC 4180 escaping.
+func csvQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // applyErrors installs error models: fixed P_F/P_C when pf >= 0, otherwise

@@ -8,6 +8,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/fec"
 	"repro/internal/lamsdlc"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -243,6 +244,14 @@ func E4ThroughputVsTraffic() *Result {
 		sH.Add(float64(n), hd.Efficiency)
 	}
 	r.Series = []*stats.Series{sL, sH}
+	// Attach the protocol-internals view of the heaviest point per
+	// protocol: the snapshot lets a reader reconcile the efficiency row
+	// with what the layers actually did (first-tx vs retx vs control).
+	last2 := len(results) - 2
+	r.Snapshots = map[string]metrics.Snapshot{
+		fmt.Sprintf("LAMS-DLC@N=%d", ns[len(ns)-1]): results[last2].Snapshot,
+		fmt.Sprintf("SR-HDLC@N=%d", ns[len(ns)-1]):  results[last2+1].Snapshot,
+	}
 	r.check("η_LAMS rises with N", sL.Monotone(1, 0.03),
 		"efficiency amortizes s̄R + δ as N grows")
 	okWin := true

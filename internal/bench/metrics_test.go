@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSnapshotReconcilesLAMS is the acceptance check for the metrics layer:
+// an E4-style run's registry snapshot must reconcile exactly with the
+// aggregate measurements the experiment harness reports, and the per-cause
+// counters must partition their totals. Any drift means an instrument and
+// its arq.Metrics twin disagree about when an event happened.
+func TestSnapshotReconcilesLAMS(t *testing.T) {
+	c := withErrors(Base(), 0.05, 0.0125)
+	c.N = 500
+	res := Run(c)
+	snap := res.Snapshot
+
+	for name, want := range map[string]uint64{
+		"lams_iframes_first_tx_total":    res.FirstTx,
+		"lams_iframes_retx_total":        res.Retransmissions,
+		"lams_delivered_total":           res.Delivered,
+		"lams_enforced_recoveries_total": res.Recoveries,
+		"lams_link_failures_total":       res.Failures,
+		"lams_recv_dropped_total":        res.RecvDropped,
+		"lams_rate_changes_total":        res.RateChanges,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d (aggregate)", name, got, want)
+		}
+	}
+
+	// The per-cause retransmission counters partition the total.
+	causes := snap.Counter("lams_retx_nak_total") +
+		snap.Counter("lams_retx_coverage_total") +
+		snap.Counter("lams_retx_enforced_total") +
+		snap.Counter("lams_retx_resolving_total")
+	if causes != res.Retransmissions {
+		t.Errorf("retx causes sum to %d, want %d", causes, res.Retransmissions)
+	}
+
+	// The control-frame counters partition ControlSent.
+	ctrl := snap.Counter("lams_checkpoints_sent_total") +
+		snap.Counter("lams_enforced_naks_sent_total") +
+		snap.Counter("lams_request_naks_sent_total")
+	if ctrl != res.ControlSent {
+		t.Errorf("control counters sum to %d, want %d", ctrl, res.ControlSent)
+	}
+
+	// Cross-layer: everything the protocol sent crossed one of the pipes.
+	sent := snap.Counter("channel_frames_sent_total")
+	if want := res.FirstTx + res.Retransmissions + res.ControlSent; sent != want {
+		t.Errorf("channel_frames_sent_total = %d, want %d (firstTx+retx+control)", sent, want)
+	}
+	// The link never drops (it only corrupts): every launched frame lands
+	// unless it was still in flight when the run stopped at full delivery.
+	del, lost := snap.Counter("channel_frames_delivered_total"), snap.Counter("channel_frames_lost_total")
+	if lost != 0 {
+		t.Errorf("channel_frames_lost_total = %d on a link that never goes down", lost)
+	}
+	if del > sent {
+		t.Errorf("delivered %d > sent %d", del, sent)
+	}
+	if inFlight := sent - del - lost; inFlight > 16 {
+		t.Errorf("%d frames unaccounted for (sent %d, delivered %d, lost %d)", inFlight, sent, del, lost)
+	}
+	if res.Retransmissions == 0 {
+		t.Error("noisy run produced no retransmissions; reconciliation is vacuous")
+	}
+}
+
+// TestSnapshotReconcilesHDLC is the SR-HDLC variant of the reconciliation
+// check.
+func TestSnapshotReconcilesHDLC(t *testing.T) {
+	c := withErrors(Base(), 0.05, 0.0125)
+	c.Protocol = SRHDLC
+	c.N = 500
+	res := Run(c)
+	snap := res.Snapshot
+
+	for name, want := range map[string]uint64{
+		"hdlc_iframes_first_tx_total": res.FirstTx,
+		"hdlc_iframes_retx_total":     res.Retransmissions,
+		"hdlc_delivered_total":        res.Delivered,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d (aggregate)", name, got, want)
+		}
+	}
+	ctrl := snap.Counter("hdlc_rr_sent_total") +
+		snap.Counter("hdlc_srej_sent_total") +
+		snap.Counter("hdlc_rej_sent_total")
+	if ctrl != res.ControlSent {
+		t.Errorf("control counters sum to %d, want %d", ctrl, res.ControlSent)
+	}
+	sent := snap.Counter("channel_frames_sent_total")
+	if want := res.FirstTx + res.Retransmissions + res.ControlSent; sent != want {
+		t.Errorf("channel_frames_sent_total = %d, want %d (firstTx+retx+control)", sent, want)
+	}
+	if res.Retransmissions == 0 {
+		t.Error("noisy run produced no retransmissions; reconciliation is vacuous")
+	}
+}
+
+// TestTraceStreamDeterministicAcrossWorkers pins down that the JSONL event
+// streams — not just the scalar results — are byte-identical whether the
+// batch runs on one worker or eight. Each run gets its own exporter, so the
+// only way streams could differ is nondeterminism inside a run.
+func TestTraceStreamDeterministicAcrossWorkers(t *testing.T) {
+	record := func(workers int) []string {
+		var out []string
+		withWorkers(t, workers, func() {
+			cfgs := batchConfigs()
+			bufs := make([]*bytes.Buffer, len(cfgs))
+			for i := range cfgs {
+				bufs[i] = &bytes.Buffer{}
+				j := trace.NewJSONL(bufs[i])
+				cfgs[i].TapAB = j.ChannelTap("A->B")
+				cfgs[i].TapBA = j.ChannelTap("B->A")
+			}
+			RunMany(cfgs)
+			for _, b := range bufs {
+				out = append(out, b.String())
+			}
+		})
+		return out
+	}
+
+	one := record(1)
+	eight := record(8)
+	if len(one) != len(eight) {
+		t.Fatalf("stream counts differ: %d vs %d", len(one), len(eight))
+	}
+	for i := range one {
+		if one[i] == "" {
+			t.Fatalf("run %d recorded no events", i)
+		}
+		if one[i] != eight[i] {
+			t.Fatalf("run %d: trace stream differs between 1 and 8 workers", i)
+		}
+	}
+}
+
+// ExampleRunConfig_metrics shows the snapshot surface an experiment sees.
+func ExampleRunConfig_metrics() {
+	c := Base()
+	c.N = 50
+	res := Run(c)
+	fmt.Println(res.Snapshot.Counter("lams_delivered_total") == res.Delivered)
+	// Output: true
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/hdlc"
 	"repro/internal/lamsdlc"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -84,6 +85,14 @@ type RunConfig struct {
 
 	Seed    uint64
 	Horizon sim.Duration // safety stop; 0 = 10 virtual minutes
+
+	// Metrics, when non-nil, is the registry the run's scheduler, channel,
+	// and protocol instruments report into (a live /metrics endpoint shares
+	// one registry across the run). When nil, Run creates a fresh per-run
+	// registry — runs stay hermetic, so RunMany/SweepParallel results are
+	// bit-identical at any worker count — and RunResult.Snapshot carries
+	// its final state either way.
+	Metrics *metrics.Registry
 }
 
 // RunResult carries the measurements every experiment reads.
@@ -111,6 +120,11 @@ type RunResult struct {
 	FinalBacklog    int // sending buffer population at the horizon
 	MaxLiveSpan     uint32
 	FinalRate       float64 // LAMS flow-control rate fraction at the end
+
+	// Snapshot is the final state of the run's metrics registry: every
+	// counter, gauge, and histogram the instrumented layers reported
+	// (lams_*/hdlc_*/channel_*/sim_*; see each package's instruments).
+	Snapshot metrics.Snapshot
 }
 
 func (c RunConfig) lamsConfig() lamsdlc.Config {
@@ -120,6 +134,7 @@ func (c RunConfig) lamsConfig() lamsdlc.Config {
 	cfg.ProcTime = c.Tproc
 	cfg.RecvBufferCap = c.RecvCap
 	cfg.SendBufferCap = c.SendCap
+	cfg.Metrics = c.Metrics
 	return cfg
 }
 
@@ -130,6 +145,7 @@ func (c RunConfig) hdlcConfig() hdlc.Config {
 	cfg.Timeout = 2*c.OneWay + c.Alpha
 	cfg.ProcTime = c.Tproc
 	cfg.Stutter = c.Stutter
+	cfg.Metrics = c.Metrics
 	if c.Protocol == GBNHDLC {
 		cfg.Mode = hdlc.GoBackN
 	}
@@ -144,6 +160,7 @@ func (c RunConfig) pipe() channel.PipeConfig {
 		CModel:     c.CModel,
 		IExpansion: c.IExpansion,
 		CExpansion: c.CExpansion,
+		Metrics:    c.Metrics,
 	}
 }
 
@@ -153,7 +170,11 @@ func Run(c RunConfig) RunResult {
 	if c.Horizon == 0 {
 		c.Horizon = 10 * sim.Minute
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
 	sched := sim.NewScheduler()
+	sched.Instrument(c.Metrics)
 	rng := sim.NewRNG(c.Seed)
 	ab := c.pipe()
 	ab.Tap = c.TapAB
@@ -246,6 +267,7 @@ func Run(c RunConfig) RunResult {
 	if n := len(got); n > 0 {
 		res.TransPerFrame = float64(res.FirstTx+res.Retransmissions) / float64(n)
 	}
+	res.Snapshot = c.Metrics.Snapshot()
 	return res
 }
 
@@ -292,6 +314,11 @@ type Result struct {
 	Series []*stats.Series
 	Checks []Check
 	Notes  []string
+	// Snapshots carries selected runs' full metrics snapshots, keyed by a
+	// label the experiment chooses (e.g. "LAMS-DLC@N=8000"). Experiments
+	// attach them where the protocol-internals view adds something the
+	// table cannot show; cmd/lamstables -metrics prints them as JSON.
+	Snapshots map[string]metrics.Snapshot
 }
 
 // check records an assertion.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fec"
 	"repro/internal/frame"
+	"repro/internal/metrics"
 	"repro/internal/orbit"
 	"repro/internal/sim"
 )
@@ -379,10 +380,13 @@ func TestErrorModelStrings(t *testing.T) {
 
 func BenchmarkPipeSendDeliver(b *testing.B) {
 	sched := sim.NewScheduler()
+	// A live registry keeps the benchmark honest about the instrumented
+	// hot path: counters and the queue histogram must not allocate.
 	p := NewPipe(sched, PipeConfig{
 		RateBps: 1e9,
 		Delay:   ConstantDelay(10 * sim.Millisecond),
 		IModel:  BSC{BER: 1e-6},
+		Metrics: metrics.New(),
 	}, sim.NewRNG(1))
 	p.SetHandler(func(sim.Time, *frame.Frame) {})
 	f := iframe(1, 1024)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/metrics"
 	"repro/internal/orbit"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -60,6 +61,12 @@ type PipeConfig struct {
 	IExpansion, CExpansion float64
 	// Tap, when non-nil, observes every pipe event for tracing.
 	Tap Tap
+	// Metrics, when non-nil, receives the channel-layer counters
+	// (channel_frames_*_total, channel_bits_sent_total) and the wire
+	// queueing-delay histogram. The two directions of a link share one
+	// registry and therefore one set of instruments: the channel metrics
+	// are per-link aggregates.
+	Metrics *metrics.Registry
 }
 
 // PipeStats counts traffic for reports and invariant checks.
@@ -87,6 +94,14 @@ type Pipe struct {
 	lastArrival sim.Time // FIFO watermark
 	down        bool
 
+	// Registry-backed instruments (nil without PipeConfig.Metrics).
+	mSent      *metrics.Counter
+	mDelivered *metrics.Counter
+	mCorrupted *metrics.Counter
+	mLost      *metrics.Counter
+	mBits      *metrics.Counter
+	mQueueNS   *metrics.Histogram
+
 	Stats PipeStats
 }
 
@@ -108,7 +123,14 @@ func NewPipe(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Pipe {
 	if cfg.CModel == nil {
 		cfg.CModel = Perfect{}
 	}
-	return &Pipe{sched: sched, cfg: cfg, rng: rng}
+	p := &Pipe{sched: sched, cfg: cfg, rng: rng}
+	p.mSent = cfg.Metrics.Counter("channel_frames_sent_total")
+	p.mDelivered = cfg.Metrics.Counter("channel_frames_delivered_total")
+	p.mCorrupted = cfg.Metrics.Counter("channel_frames_corrupted_total")
+	p.mLost = cfg.Metrics.Counter("channel_frames_lost_total")
+	p.mBits = cfg.Metrics.Counter("channel_bits_sent_total")
+	p.mQueueNS = cfg.Metrics.Histogram("channel_wire_queue_ns", metrics.ExpBuckets(1e3, 4, 16))
+	return p
 }
 
 // SetHandler installs the receiver callback. Frames arriving with no handler
@@ -172,6 +194,9 @@ func (p *Pipe) Send(f *frame.Frame) {
 
 	p.Stats.FramesSent.Inc()
 	p.Stats.BitsSent.Addn(uint64(g.Bits()))
+	p.mSent.Inc()
+	p.mBits.Add(uint64(g.Bits()))
+	p.mQueueNS.Observe(float64(start.Sub(now)))
 	var model ErrorModel
 	if g.Kind.Control() {
 		p.Stats.CFrames.Inc()
@@ -186,6 +211,7 @@ func (p *Pipe) Send(f *frame.Frame) {
 	if model.Corrupt(p.rng, start, depart, g.Bits()) {
 		g.Corrupted = true
 		p.Stats.FramesCorrupted.Inc()
+		p.mCorrupted.Inc()
 		if p.cfg.Tap != nil {
 			p.cfg.Tap(now, "corrupt", g)
 		}
@@ -193,6 +219,7 @@ func (p *Pipe) Send(f *frame.Frame) {
 	if p.down {
 		// Frames launched into a dead link vanish (beam lost).
 		p.Stats.FramesLost.Inc()
+		p.mLost.Inc()
 		if p.cfg.Tap != nil {
 			p.cfg.Tap(now, "drop", g)
 		}
@@ -210,6 +237,7 @@ func (p *Pipe) Send(f *frame.Frame) {
 	p.sched.ScheduleDetached(arrival, func() {
 		if p.down || p.handler == nil {
 			p.Stats.FramesLost.Inc()
+			p.mLost.Inc()
 			if p.cfg.Tap != nil {
 				p.cfg.Tap(p.sched.Now(), "drop", g)
 			}
@@ -217,6 +245,7 @@ func (p *Pipe) Send(f *frame.Frame) {
 			return
 		}
 		p.Stats.FramesDelivered.Inc()
+		p.mDelivered.Inc()
 		if p.cfg.Tap != nil {
 			p.cfg.Tap(p.sched.Now(), "rx", g)
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/arq"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,11 @@ type Config struct {
 	// unacknowledged I-frames, trading channel capacity for a chance to
 	// deliver before SREJ/timeout recovery completes.
 	Stutter bool
+
+	// Metrics, when non-nil, is the registry the endpoints report their
+	// hdlc_* observability counters and gauges into (see instruments.go
+	// for the full name list). Nil leaves the endpoints uninstrumented.
+	Metrics *metrics.Registry
 }
 
 // Defaults returns an SR-HDLC configuration for the given round trip, with

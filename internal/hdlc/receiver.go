@@ -18,6 +18,7 @@ type Receiver struct {
 	wire  arq.Wire
 	cfg   Config
 	m     *arq.Metrics
+	im    receiverInstr
 
 	recvBase uint32 // N(R): next in-order sequence number needed
 	held     map[uint32]*frame.Frame
@@ -39,6 +40,7 @@ func NewReceiver(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics
 		wire:     wire,
 		cfg:      cfg,
 		m:        m,
+		im:       newReceiverInstr(cfg.Metrics),
 		held:     make(map[uint32]*frame.Frame),
 		srejSent: make(map[uint32]bool),
 		deliver:  deliver,
@@ -70,6 +72,7 @@ func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
 		// Duplicate of a delivered frame (e.g. retransmitted after its
 		// RR was lost). Discard; if it polls, answer so the sender can
 		// slide its window.
+		r.im.dups.Inc()
 		if f.Final {
 			r.sendRR(true)
 		}
@@ -138,6 +141,7 @@ func (r *Receiver) onGap(f *frame.Frame) {
 			r.wire.Send(&frame.Frame{Kind: frame.KindSREJ, Ack: r.recvBase, Seq: seq})
 			r.m.NAKsSent.Inc()
 			r.m.ControlSent.Inc()
+			r.im.srejSent.Inc()
 		}
 	case GoBackN:
 		// Discard and demand a back-up, once per gap episode.
@@ -146,6 +150,7 @@ func (r *Receiver) onGap(f *frame.Frame) {
 			r.wire.Send(&frame.Frame{Kind: frame.KindREJ, Ack: r.recvBase, Seq: r.recvBase})
 			r.m.NAKsSent.Inc()
 			r.m.ControlSent.Inc()
+			r.im.rejSent.Inc()
 		}
 	}
 }
@@ -153,6 +158,7 @@ func (r *Receiver) onGap(f *frame.Frame) {
 func (r *Receiver) deliverUp(now sim.Time, f *frame.Frame) {
 	dg := arq.Datagram{ID: f.DatagramID, Payload: f.Payload, EnqueuedAt: sim.Time(f.EnqueuedNS)}
 	r.m.NoteDelivery(now, dg)
+	r.im.delivered.Inc()
 	r.deliveredInWindow++
 	if r.deliver != nil {
 		r.deliver(now, dg, f.Seq)
@@ -162,9 +168,11 @@ func (r *Receiver) deliverUp(now sim.Time, f *frame.Frame) {
 func (r *Receiver) sendRR(final bool) {
 	r.wire.Send(&frame.Frame{Kind: frame.KindRR, Ack: r.recvBase, Final: final})
 	r.m.ControlSent.Inc()
+	r.im.rrSent.Inc()
 	r.deliveredInWindow = 0
 }
 
 func (r *Receiver) noteRecvOccupancy() {
 	r.m.RecvBufOcc.Update(int64(r.sched.Now()), float64(len(r.held)))
+	r.im.held.Set(float64(len(r.held)))
 }

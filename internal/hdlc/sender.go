@@ -23,6 +23,7 @@ type Sender struct {
 	wire  arq.Wire
 	cfg   Config
 	m     *arq.Metrics
+	im    senderInstr
 
 	queue    []arq.Datagram
 	window   []*hentry // outstanding, ascending seq
@@ -46,7 +47,7 @@ func NewSender(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics) 
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Sender{sched: sched, wire: wire, cfg: cfg, m: m}
+	s := &Sender{sched: sched, wire: wire, cfg: cfg, m: m, im: newSenderInstr(cfg.Metrics)}
 	s.pumpTimer = sim.NewTimer(sched, s.pump)
 	s.retryTimer = sim.NewTimer(sched, s.onTimeout)
 	s.stutterTimer = sim.NewTimer(sched, s.stutter)
@@ -136,8 +137,10 @@ func (s *Sender) transmit(e *hentry, final, retx bool) {
 	s.wire.Send(f)
 	if retx {
 		s.m.Retransmissions.Inc()
+		s.im.retx.Inc()
 	} else {
 		s.m.FirstTx.Inc()
+		s.im.firstTx.Inc()
 	}
 	s.restartT1()
 }
@@ -184,6 +187,7 @@ func (s *Sender) stutter() {
 	e := s.window[s.stutterIdx]
 	s.stutterIdx++
 	s.stutters++
+	s.im.stutterRetx.Inc()
 	s.transmit(e, s.stutterIdx == len(s.window), true)
 	tx := s.wire.TxTime(&frame.Frame{Kind: frame.KindHDLCI, Payload: e.dg.Payload})
 	s.wireFree = s.sched.Now().Add(tx)
@@ -198,6 +202,7 @@ func (s *Sender) onTimeout() {
 	if len(s.window) == 0 {
 		return
 	}
+	s.im.timeoutPolls.Inc()
 	s.transmit(s.window[0], true, true)
 }
 
@@ -222,10 +227,13 @@ func (s *Sender) handleRR(now sim.Time, f *frame.Frame) {
 	if f.Ack <= s.sendBase {
 		return // stale
 	}
+	s.im.rrHeard.Inc()
 	var keep []*hentry
 	for _, e := range s.window {
 		if e.seq < f.Ack {
 			s.m.HoldingTime.Add(float64(now.Sub(e.firstTx)))
+			s.im.releases.Inc()
+			s.im.holdingNS.Observe(float64(now.Sub(e.firstTx)))
 		} else {
 			keep = append(keep, e)
 		}
@@ -243,6 +251,7 @@ func (s *Sender) handleSREJ(_ sim.Time, f *frame.Frame) {
 	for _, e := range s.window {
 		if e.seq == f.Seq {
 			e.srejTimes++
+			s.im.srejRetx.Inc()
 			// Retransmissions poll (P bit): §4's model has each
 			// retransmission period end with an RR solicited by the
 			// last retransmitted I-frame.
@@ -266,6 +275,7 @@ func (s *Sender) handleREJ(_ sim.Time, f *frame.Frame) {
 	for _, e := range s.window {
 		if e.seq >= f.Seq {
 			i++
+			s.im.rejRetx.Inc()
 			s.transmit(e, i == n, true)
 		}
 	}
@@ -273,4 +283,5 @@ func (s *Sender) handleREJ(_ sim.Time, f *frame.Frame) {
 
 func (s *Sender) noteOccupancy() {
 	s.m.SendBufOcc.Update(int64(s.sched.Now()), float64(s.Outstanding()))
+	s.im.outstanding.Set(float64(s.Outstanding()))
 }

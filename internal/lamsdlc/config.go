@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"repro/internal/arq"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -100,6 +101,12 @@ type Config struct {
 	// returns a safe default. Memory cost is one entry per delivery
 	// within the window (bounded, unlike full in-sequence state).
 	DedupWindow sim.Duration
+
+	// Metrics, when non-nil, is the registry the endpoints report their
+	// lams_* observability counters, gauges, and histograms into (see
+	// instruments.go for the full name list). Nil leaves the endpoints
+	// uninstrumented at near-zero cost.
+	Metrics *metrics.Registry
 }
 
 // Defaults returns a configuration tuned for the paper's environment: a

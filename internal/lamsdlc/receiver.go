@@ -22,12 +22,18 @@ type Receiver struct {
 	wire  arq.Wire
 	cfg   Config
 	m     *arq.Metrics
+	im    receiverInstr
 
 	expected  uint32     // next expected sequence number; all below are classified
 	intervals [][]uint32 // error lists; intervals[0] is the current W_cp
 	serial    uint32
 	ticker    *sim.Ticker
 	started   bool
+
+	// Checkpoint-spacing observation base (virtual time of the previous
+	// emission; zero until the first checkpoint goes out).
+	lastCpEmit sim.Time
+	haveCpEmit bool
 
 	// Receive processing queue (the receiving buffer of §3.4).
 	procQueue []*frame.Frame
@@ -52,6 +58,7 @@ func NewReceiver(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics
 		wire:      wire,
 		cfg:       cfg,
 		m:         m,
+		im:        newReceiverInstr(cfg.Metrics),
 		intervals: make([][]uint32, cfg.CumulationDepth),
 		deliver:   deliver,
 	}
@@ -120,6 +127,7 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 	for missing := r.expected; missing < f.Seq; missing++ {
 		r.intervals[0] = append(r.intervals[0], missing)
 		r.m.NAKsSent.Inc()
+		r.im.gaps.Inc()
 	}
 	r.expected = f.Seq + 1
 
@@ -130,6 +138,10 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 		r.intervals[0] = append(r.intervals[0], f.Seq)
 		r.m.NAKsSent.Inc()
 		r.m.RecvDropped.Inc()
+		r.im.dropped.Inc()
+		if !r.stopGo {
+			r.im.stopGoFlips.Inc()
+		}
 		r.stopGo = true
 		return
 	}
@@ -163,6 +175,7 @@ func (r *Receiver) processNext() {
 				// (well inside DedupWindow).
 				r.seen[f.DatagramID] = now
 				r.m.DupSuppressed.Inc()
+				r.im.dups.Inc()
 				r.pruneSeen(now)
 				r.processNext()
 				return
@@ -172,6 +185,7 @@ func (r *Receiver) processNext() {
 		}
 		dg := arq.Datagram{ID: f.DatagramID, Payload: f.Payload, EnqueuedAt: sim.Time(f.EnqueuedNS)}
 		r.m.NoteDelivery(now, dg)
+		r.im.delivered.Inc()
 		if r.deliver != nil {
 			r.deliver(now, dg, f.Seq)
 		}
@@ -185,8 +199,14 @@ func (r *Receiver) updateStopGo() {
 	}
 	occ := float64(len(r.procQueue)) / float64(r.cfg.RecvBufferCap)
 	if occ >= r.cfg.StopGoHigh {
+		if !r.stopGo {
+			r.im.stopGoFlips.Inc()
+		}
 		r.stopGo = true
 	} else if occ <= r.cfg.StopGoLow {
+		if r.stopGo {
+			r.im.stopGoFlips.Inc()
+		}
 		r.stopGo = false
 	}
 }
@@ -201,26 +221,38 @@ func (r *Receiver) emitCheckpoint() {
 	copy(r.intervals[1:], r.intervals[:len(r.intervals)-1])
 	r.intervals[0] = nil
 	r.m.Checkpoints.Inc()
+	r.im.checkpoints.Inc()
+	now := r.sched.Now()
+	if r.haveCpEmit {
+		r.im.cpSpacingNS.Observe(float64(now.Sub(r.lastCpEmit)))
+	}
+	r.lastCpEmit, r.haveCpEmit = now, true
 }
 
 // handleRequestNAK answers immediately with an Enforced-NAK (or Resolving
 // command when there is nothing to report), per §3.2.
 func (r *Receiver) handleRequestNAK(_ sim.Time, req *frame.Frame) {
+	r.im.reqNAKsHeard.Inc()
 	r.serial++
 	r.sendEnforced(req.Serial)
 }
 
 func (r *Receiver) send(enforced bool) {
-	cp := frame.NewCheckpoint(r.serial, r.expected, r.cumulativeNAKs(), r.stopGo, enforced)
+	naks := r.cumulativeNAKs()
+	cp := frame.NewCheckpoint(r.serial, r.expected, naks, r.stopGo, enforced)
 	r.wire.Send(cp)
 	r.m.ControlSent.Inc()
+	r.im.naksReported.Add(uint64(len(naks)))
 }
 
 func (r *Receiver) sendEnforced(reqSerial uint32) {
-	cp := frame.NewCheckpoint(r.serial, r.expected, r.cumulativeNAKs(), r.stopGo, true)
+	naks := r.cumulativeNAKs()
+	cp := frame.NewCheckpoint(r.serial, r.expected, naks, r.stopGo, true)
 	cp.Seq = reqSerial // echo for correlation
 	r.wire.Send(cp)
 	r.m.ControlSent.Inc()
+	r.im.naksReported.Add(uint64(len(naks)))
+	r.im.enforcedSent.Inc()
 }
 
 // cumulativeNAKs returns the union of the stored intervals, deduplicated
@@ -268,4 +300,5 @@ func (r *Receiver) DedupEntries() int { return len(r.seen) }
 
 func (r *Receiver) noteRecvOccupancy() {
 	r.m.RecvBufOcc.Update(int64(r.sched.Now()), float64(len(r.procQueue)))
+	r.im.queueLen.Set(float64(len(r.procQueue)))
 }

@@ -28,6 +28,7 @@ type Sender struct {
 	wire  arq.Wire
 	cfg   Config
 	m     *arq.Metrics
+	im    senderInstr
 
 	queue   []arq.Datagram // accepted, not yet first-transmitted
 	ordered []*entry       // unacknowledged, ascending current seq
@@ -68,11 +69,13 @@ func NewSender(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics, 
 		wire:         wire,
 		cfg:          cfg,
 		m:            m,
+		im:           newSenderInstr(cfg.Metrics),
 		bySeq:        make(map[uint32]*entry),
 		rateFraction: 1,
 		retriesLeft:  cfg.RequestRetries,
 		onFailure:    onFailure,
 	}
+	s.im.rateFraction.Set(1)
 	s.pumpTimer = sim.NewTimer(sched, s.pump)
 	s.cpTimer = sim.NewTimer(sched, s.onCheckpointTimeout)
 	s.failTimer = sim.NewTimer(sched, s.onFailureTimeout)
@@ -186,6 +189,7 @@ func (s *Sender) pump() {
 	f.EnqueuedNS = int64(dg.EnqueuedAt)
 	s.wire.Send(f)
 	s.m.FirstTx.Inc()
+	s.im.firstTx.Inc()
 	s.noteSpan()
 	s.noteOccupancy()
 
@@ -220,6 +224,8 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 	// checkpoint timer (§3.2: reset to zero after each Check-Point).
 	s.lastCpAt = now
 	s.cpTimer.Start(s.cfg.CheckpointTimerTimeout())
+	s.im.cpHeard.Inc()
+	s.im.naksHeard.Add(uint64(len(f.NAKs)))
 
 	// Coverage tracking: each error is reported in C_depth consecutive
 	// checkpoints. If the serial jumped by more than C_depth, at least one
@@ -247,6 +253,7 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 		s.failTimer.Stop()
 		s.recovering = false
 		s.retriesLeft = s.cfg.RequestRetries
+		s.im.enforcedHeard.Inc()
 	}
 
 	// Walk the ordered buffer once, deciding each entry's fate.
@@ -259,6 +266,7 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 			// First notification for this incarnation: retransmit under
 			// a new number. (Stale NAKs name retired seqs and miss.)
 			retransmit = append(retransmit, e)
+			s.im.retxNAK.Inc()
 		case e.seq < f.Ack && covered:
 			// Covered positive acknowledgement: release buffer space.
 			s.release(now, e)
@@ -268,6 +276,7 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 			// downstream). Frames still in flight are left alone.
 			if now.Sub(e.lastTx) >= s.cfg.RoundTrip {
 				retransmit = append(retransmit, e)
+				s.im.retxCoverage.Inc()
 			} else {
 				keep = append(keep, e)
 			}
@@ -275,11 +284,13 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 			// Enforced recovery: the receiver has never seen this frame
 			// although it has had a full round trip to arrive — resend.
 			retransmit = append(retransmit, e)
+			s.im.retxEnforced.Inc()
 		case now.Sub(e.lastTx) >= resolving:
 			// Resolving-period timeout (§3.3): an unreported frame this
 			// old can only be a corrupted trailing frame with no
 			// successor to reveal the gap.
 			retransmit = append(retransmit, e)
+			s.im.retxResolving.Inc()
 		default:
 			keep = append(keep, e)
 		}
@@ -287,6 +298,9 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 	s.ordered = keep
 	for _, e := range retransmit {
 		s.retransmit(now, e)
+	}
+	if len(s.ordered) > 0 {
+		s.im.liveSpan.Observe(float64(s.nextSeq - s.ordered[0].seq))
 	}
 	s.noteSpan()
 	s.noteOccupancy()
@@ -307,6 +321,7 @@ func (s *Sender) retransmit(now sim.Time, e *entry) {
 	f.EnqueuedNS = int64(e.dg.EnqueuedAt)
 	s.wire.Send(f)
 	s.m.Retransmissions.Inc()
+	s.im.retx.Inc()
 	// Retransmissions jump the pacing queue (§4: they mix freely with
 	// transmissions) but still consume send-rate budget; without this,
 	// under overload, unpaced retransmissions inflate the wire backlog
@@ -319,6 +334,8 @@ func (s *Sender) retransmit(now sim.Time, e *entry) {
 func (s *Sender) release(now sim.Time, e *entry) {
 	delete(s.bySeq, e.seq)
 	s.m.HoldingTime.Add(float64(now.Sub(e.holdStart)))
+	s.im.releases.Inc()
+	s.im.holdingNS.Observe(float64(now.Sub(e.holdStart)))
 }
 
 func (s *Sender) applyStopGo(stop bool) {
@@ -336,6 +353,8 @@ func (s *Sender) applyStopGo(stop bool) {
 	}
 	if s.rateFraction != old {
 		s.m.RateChanges.Inc()
+		s.im.rateChanges.Inc()
+		s.im.rateFraction.Set(s.rateFraction)
 	}
 }
 
@@ -363,6 +382,8 @@ func (s *Sender) sendRequestNAK() {
 	s.wire.Send(frame.NewRequestNAK(s.reqSerial))
 	s.m.ControlSent.Inc()
 	s.m.Recoveries.Inc()
+	s.im.reqNAKs.Inc()
+	s.im.recoveries.Inc()
 	s.failTimer.Start(s.cfg.FailureTimeout())
 }
 
@@ -406,6 +427,7 @@ func (s *Sender) declareFailure(reason string) {
 	s.pumpTimer.Stop()
 	s.pumpArmed = false
 	s.m.Failures.Inc()
+	s.im.failures.Inc()
 	if s.onFailure != nil {
 		s.onFailure(s.sched.Now(), reason)
 	}
@@ -439,4 +461,5 @@ func (s *Sender) UnreleasedDatagrams() []arq.Datagram {
 
 func (s *Sender) noteOccupancy() {
 	s.m.SendBufOcc.Update(int64(s.sched.Now()), float64(s.Outstanding()))
+	s.im.outstanding.Set(float64(s.Outstanding()))
 }

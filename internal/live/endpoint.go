@@ -8,6 +8,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/hdlc"
 	"repro/internal/lamsdlc"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -134,6 +135,10 @@ type EndpointConfig struct {
 	// OnError receives transport errors (decode garbage is not an error;
 	// it is a detectably corrupted frame, handled by the protocol).
 	OnError func(error)
+	// Metrics, when non-nil, instruments the endpoint's scheduler and
+	// protocol halves into the registry — the one a ServeMetrics endpoint
+	// scrapes.
+	Metrics *metrics.Registry
 }
 
 // NewEndpoint wires an endpoint over conn and starts its driver and reader.
@@ -143,17 +148,21 @@ func NewEndpoint(conn io.ReadWriteCloser, cfg EndpointConfig) *Endpoint {
 		cfg.Speed = 1
 	}
 	sched := sim.NewScheduler()
+	sched.Instrument(cfg.Metrics)
+	cfg.Config.Metrics = cfg.Metrics
 	drv := NewDriver(sched, cfg.Speed)
 	wire := newConnWire(conn, cfg.RateBps, cfg.OnError)
 	ep := &Endpoint{Driver: drv, Metrics: &arq.Metrics{}, wire: wire, conn: conn}
 
 	switch {
 	case cfg.HDLC != nil:
+		hcfg := *cfg.HDLC
+		hcfg.Metrics = cfg.Metrics
 		if cfg.SendSide {
-			ep.HSender = hdlc.NewSender(sched, wire, *cfg.HDLC, ep.Metrics)
+			ep.HSender = hdlc.NewSender(sched, wire, hcfg, ep.Metrics)
 		}
 		if cfg.RecvSide {
-			ep.HRecv = hdlc.NewReceiver(sched, wire, *cfg.HDLC, ep.Metrics, cfg.Deliver)
+			ep.HRecv = hdlc.NewReceiver(sched, wire, hcfg, ep.Metrics, cfg.Deliver)
 		}
 	default:
 		if cfg.SendSide {

@@ -1,0 +1,61 @@
+package live
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// NewMetricsMux returns a mux serving the registry in Prometheus text
+// exposition format on /metrics and the standard pprof suite under
+// /debug/pprof/. The pprof handlers are registered explicitly on a private
+// mux — importing net/http/pprof for its DefaultServeMux side effect would
+// expose profiling on any default-mux server the embedding process runs.
+func NewMetricsMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsServer is a running /metrics + pprof endpoint.
+type MetricsServer struct {
+	// Addr is the bound listen address (resolves ":0" requests).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeMetrics binds addr (e.g. "localhost:9100", ":0" for an ephemeral
+// port) and serves reg's metrics and pprof on it until Close. The server
+// runs on its own goroutine; the returned MetricsServer reports the bound
+// address.
+func ServeMetrics(addr string, reg *metrics.Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           NewMetricsMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *MetricsServer) Close() error {
+	return s.srv.Close()
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/metrics"
 )
 
 // Event is a handle to a scheduled callback. It can be cancelled until it
@@ -73,10 +75,32 @@ type Scheduler struct {
 	// handle never escaped (ScheduleDetached) are returned here, so reuse
 	// can never alias a handle a caller still holds.
 	free []*Event
+
+	// Observability instruments (nil when uninstrumented; all nil-safe).
+	// qPeak mirrors the queue-length high-water mark locally so the gauge
+	// is only written when the peak actually moves.
+	mScheduled *metrics.Counter
+	mExecuted  *metrics.Counter
+	mCancelled *metrics.Counter
+	mRecycled  *metrics.Counter
+	mQueuePeak *metrics.Gauge
+	qPeak      int
 }
 
 // NewScheduler returns a Scheduler with the clock at the epoch.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Instrument registers the scheduler's event-churn metrics in reg:
+// sim_events_scheduled/executed/cancelled/recycled_total and the
+// sim_event_queue_peak gauge. A nil reg leaves the scheduler
+// uninstrumented (the increments become no-ops on nil instruments).
+func (s *Scheduler) Instrument(reg *metrics.Registry) {
+	s.mScheduled = reg.Counter("sim_events_scheduled_total")
+	s.mExecuted = reg.Counter("sim_events_executed_total")
+	s.mCancelled = reg.Counter("sim_events_cancelled_total")
+	s.mRecycled = reg.Counter("sim_events_recycled_total")
+	s.mQueuePeak = reg.Gauge("sim_event_queue_peak")
+}
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -135,12 +159,18 @@ func (s *Scheduler) schedule(at Time, fn func(), detached bool) *Event {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		*e = Event{}
+		s.mRecycled.Inc()
 	} else {
 		e = &Event{}
 	}
 	e.at, e.seq, e.fn, e.detached = at, s.seq, fn, detached
 	s.seq++
 	heap.Push(&s.queue, e)
+	s.mScheduled.Inc()
+	if len(s.queue) > s.qPeak {
+		s.qPeak = len(s.queue)
+		s.mQueuePeak.Set(float64(s.qPeak))
+	}
 	return e
 }
 
@@ -163,6 +193,7 @@ func (s *Scheduler) Cancel(e *Event) {
 		return
 	}
 	e.cancel = true
+	s.mCancelled.Inc()
 	if e.index >= 0 && e.index < len(s.queue) && s.queue[e.index] == e {
 		heap.Remove(&s.queue, e.index)
 		// The handle stays with the caller (never recycled), but the
@@ -183,6 +214,7 @@ func (s *Scheduler) Step() bool {
 		s.now = e.at
 		e.fired = true
 		s.executed++
+		s.mExecuted.Inc()
 		fn := e.fn
 		// Retire before invoking: e is off the heap and, if detached, has
 		// no outstanding references, so the callback may immediately reuse

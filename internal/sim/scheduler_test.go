@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 func TestSchedulerZeroValueReady(t *testing.T) {
@@ -302,10 +304,12 @@ func TestFormatRate(t *testing.T) {
 }
 
 // BenchmarkSchedulerChurn measures the schedule→fire cycle that dominates a
-// simulation run. Detached events recycle through the scheduler's freelist,
-// so the steady state should run allocation-free.
+// simulation run, with a live metrics registry attached — the instrumented
+// path is the production path. Detached events recycle through the
+// scheduler's freelist, so the steady state should run allocation-free.
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler()
+	s.Instrument(metrics.New())
 	var fired int
 	var tick func()
 	tick = func() {

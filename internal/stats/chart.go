@@ -29,9 +29,14 @@ func (c Chart) Render() string {
 	if h <= 0 {
 		h = 16
 	}
+	// Non-finite points (a NaN efficiency from a zero-delivery run, an Inf
+	// ratio) are unplottable and would poison the axis bounds; skip them.
 	var xs, ys []float64
 	for _, s := range c.Series {
 		for _, p := range s.Points {
+			if !finite(c.x(p.X)) || !finite(p.Y) {
+				continue
+			}
 			xs = append(xs, c.x(p.X))
 			ys = append(ys, p.Y)
 		}
@@ -58,6 +63,9 @@ func (c Chart) Render() string {
 	for si, s := range c.Series {
 		glyph := chartGlyphs[si%len(chartGlyphs)]
 		for _, p := range s.Points {
+			if !finite(c.x(p.X)) || !finite(p.Y) {
+				continue
+			}
 			cx := int(math.Round((c.x(p.X) - xmin) / (xmax - xmin) * float64(w-1)))
 			cy := int(math.Round((p.Y - ymin) / (ymax - ymin) * float64(h-1)))
 			row := h - 1 - cy
@@ -113,6 +121,10 @@ func (c Chart) invX(v float64) float64 {
 		return math.Pow(10, v)
 	}
 	return v
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func minMax(xs []float64) (lo, hi float64) {

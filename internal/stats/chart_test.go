@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// A series with no points is the same as no series at all.
+func TestChartEmptySeries(t *testing.T) {
+	out := Chart{Title: "t", Series: []*Series{{Label: "empty"}}}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty series should render as no data:\n%s", out)
+	}
+}
+
+// A single point degenerates both axis ranges to zero width; the chart must
+// widen them rather than divide by zero.
+func TestChartSinglePoint(t *testing.T) {
+	s := &Series{Label: "one"}
+	s.Add(3, 7)
+	out := Chart{Series: []*Series{s}, Width: 20, Height: 6}.Render()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("degenerate axis bounds:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("point not plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "7") || !strings.Contains(out, "3") {
+		t.Fatalf("axis labels missing the point's coordinates:\n%s", out)
+	}
+}
+
+// Non-finite points (NaN efficiency from a zero-delivery run, an Inf ratio)
+// must neither plot nor poison the axis bounds.
+func TestChartNaNFreeAxisBounds(t *testing.T) {
+	s := &Series{Label: "mixed"}
+	s.Add(1, 1)
+	s.Add(2, math.NaN())
+	s.Add(math.Inf(1), 3)
+	s.Add(4, 4)
+	out := Chart{Series: []*Series{s}, Width: 20, Height: 6}.Render()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("non-finite point leaked into axis bounds:\n%s", out)
+	}
+	for _, want := range []string{"1", "4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("finite bounds missing %q:\n%s", want, out)
+		}
+	}
+
+	// All points non-finite: nothing plottable remains.
+	bad := &Series{Label: "bad"}
+	bad.Add(math.NaN(), math.NaN())
+	if out := (Chart{Series: []*Series{bad}}).Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("all-NaN series should render as no data:\n%s", out)
+	}
+}
+
+// Log-x with a nonpositive x must not produce a -Inf axis bound.
+func TestChartLogXNonpositive(t *testing.T) {
+	s := &Series{Label: "ber"}
+	s.Add(0, 1) // log10(0) would be -Inf
+	s.Add(1e-5, 2)
+	s.Add(1e-3, 3)
+	out := Chart{LogX: true, Series: []*Series{s}, Width: 20, Height: 6}.Render()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("log axis bounds not finite:\n%s", out)
+	}
+}

@@ -37,6 +37,60 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// FrameInfo is a structured summary of a frame, with every field copied out
+// of the *frame.Frame at tap time. The copy is what makes retaining an Event
+// safe under the channel layer's ownership contract: the pipe recycles
+// control and corrupted frames the moment the handler returns, so a tap must
+// never keep the pointer (see channel.Handler and the poisoning regression
+// test in this package).
+type FrameInfo struct {
+	Kind       string `json:"kind"`
+	Seq        uint32 `json:"seq"`
+	Ack        uint32 `json:"ack,omitempty"`
+	Serial     uint32 `json:"serial,omitempty"`
+	NAKs       int    `json:"naks,omitempty"`
+	Bits       int    `json:"bits"`
+	DatagramID uint64 `json:"datagram_id,omitempty"`
+	StopGo     bool   `json:"stop_go,omitempty"`
+	Enforced   bool   `json:"enforced,omitempty"`
+	Final      bool   `json:"final,omitempty"`
+	Corrupted  bool   `json:"corrupted,omitempty"`
+}
+
+// infoOf copies the loggable fields of f. The returned struct shares no
+// memory with the frame.
+func infoOf(f *frame.Frame) *FrameInfo {
+	return &FrameInfo{
+		Kind:       f.Kind.String(),
+		Seq:        f.Seq,
+		Ack:        f.Ack,
+		Serial:     f.Serial,
+		NAKs:       len(f.NAKs),
+		Bits:       f.Bits(),
+		DatagramID: f.DatagramID,
+		StopGo:     f.StopGo,
+		Enforced:   f.Enforced,
+		Final:      f.Final,
+		Corrupted:  f.Corrupted,
+	}
+}
+
+// kindFromChannelEvent maps the channel layer's tap event strings onto
+// trace kinds.
+func kindFromChannelEvent(event string) Kind {
+	switch event {
+	case "tx":
+		return KindTx
+	case "rx":
+		return KindRx
+	case "drop":
+		return KindDrop
+	case "corrupt":
+		return KindCorrupt
+	}
+	return KindProto
+}
+
 // Event is one recorded occurrence.
 type Event struct {
 	At   sim.Time
@@ -45,6 +99,8 @@ type Event struct {
 	Where string
 	// Frame summarizes the frame involved, if any.
 	Frame string
+	// Info holds the structured frame summary (nil for protocol notes).
+	Info *FrameInfo
 	// Note carries protocol-level detail.
 	Note string
 }
@@ -127,6 +183,7 @@ func (r *Recorder) PipeTap(where string) func(now sim.Time, kind Kind, f *frame.
 		e := Event{At: now, Kind: kind, Where: where}
 		if f != nil {
 			e.Frame = f.String()
+			e.Info = infoOf(f)
 		}
 		r.Add(e)
 	}
@@ -140,23 +197,14 @@ func (r *Recorder) Note(now sim.Time, where, format string, args ...any) {
 // ChannelTap adapts the recorder to the channel layer's tap signature for
 // one pipe direction.
 func (r *Recorder) ChannelTap(where string) func(now sim.Time, event string, f *frame.Frame) {
+	if r == nil {
+		return nil
+	}
 	return func(now sim.Time, event string, f *frame.Frame) {
-		var k Kind
-		switch event {
-		case "tx":
-			k = KindTx
-		case "rx":
-			k = KindRx
-		case "drop":
-			k = KindDrop
-		case "corrupt":
-			k = KindCorrupt
-		default:
-			k = KindProto
-		}
-		e := Event{At: now, Kind: k, Where: where}
+		e := Event{At: now, Kind: kindFromChannelEvent(event), Where: where}
 		if f != nil {
 			e.Frame = f.String()
+			e.Info = infoOf(f)
 		}
 		r.Add(e)
 	}
