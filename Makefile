@@ -6,11 +6,16 @@ test:
 
 # CI gate: tier-1 plus static analysis and the race detector. The parallel
 # experiment engine (internal/bench) fans simulations across a worker pool,
-# so the race run is load-bearing, not ceremony.
+# so the race run is load-bearing, not ceremony. The -benchtime=100x
+# scheduler bench smoke run does not measure anything — it exists to execute
+# the timer-wheel benchmark bodies (churn, deep churn, timer restart) under
+# the test binary so a regression that only bites the benchmark paths fails
+# CI instead of the next perf investigation.
 .PHONY: ci
 ci: test cover
 	go vet ./...
 	go test -race ./...
+	go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchtime 100x -benchmem
 
 # Aggregate statement coverage across all packages. The per-function
 # breakdown lands in coverage.txt; the baseline is recorded in
@@ -21,10 +26,14 @@ cover:
 	go tool cover -func=coverage.out > coverage.txt
 	@tail -1 coverage.txt
 
-# Micro-benchmarks for the hot paths the allocation diet targets.
+# Micro-benchmarks for the hot paths the allocation diet targets. The
+# combined output also lands in BENCH_PR3.json (via cmd/benchjson) as the
+# machine-readable snapshot the perf table in EXPERIMENTS.md cites.
 .PHONY: bench
 bench:
-	go test ./internal/frame -run xxx -bench 'BenchmarkEncodeI|BenchmarkDecode'
-	go test ./internal/sim -run xxx -bench BenchmarkSchedulerChurn
-	go test ./internal/channel -run xxx -bench BenchmarkPipeSendDeliver
-	go test . -run xxx -bench 'BenchmarkE4|BenchmarkLAMSTransfer' -benchtime 1x
+	{ go test ./internal/frame -run xxx -bench 'BenchmarkEncodeI|BenchmarkDecode' -benchmem; \
+	  go test ./internal/crc -run xxx -bench . -benchmem; \
+	  go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchmem; \
+	  go test ./internal/channel -run xxx -bench BenchmarkPipeSendDeliver -benchmem; \
+	  go test . -run xxx -bench 'BenchmarkE4|BenchmarkLAMSTransfer' -benchtime 1x -benchmem; } \
+	| go run ./cmd/benchjson -o BENCH_PR3.json

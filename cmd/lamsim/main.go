@@ -107,8 +107,8 @@ func main() {
 		}
 		c.CModel = channel.FixedProb{P: pcv}
 	case *ber > 0:
-		c.IModel = channel.BSC{BER: *ber, Scheme: fec.Hamming74}
-		c.CModel = channel.BSC{BER: *ber, Scheme: fec.Repetition3}
+		c.IModel = &channel.BSC{BER: *ber, Scheme: fec.Hamming74}
+		c.CModel = &channel.BSC{BER: *ber, Scheme: fec.Repetition3}
 	}
 
 	var rec *trace.Recorder

@@ -175,8 +175,8 @@ func applyErrors(c *bench.RunConfig, ber, pf, pc float64) {
 		c.IModel = channel.FixedProb{P: pf}
 		c.CModel = channel.FixedProb{P: pc}
 	case ber > 0:
-		c.IModel = channel.BSC{BER: ber, Scheme: fec.Hamming74}
-		c.CModel = channel.BSC{BER: ber, Scheme: fec.Repetition3}
+		c.IModel = &channel.BSC{BER: ber, Scheme: fec.Hamming74}
+		c.CModel = &channel.BSC{BER: ber, Scheme: fec.Repetition3}
 	default:
 		c.IModel = nil
 		c.CModel = nil

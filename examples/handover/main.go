@@ -45,8 +45,8 @@ func main() {
 		return channel.NewLink(sched, channel.PipeConfig{
 			RateBps: 300e6,
 			Delay:   channel.ConstantDelay(13340 * sim.Microsecond),
-			IModel:  channel.BSC{BER: ber, Scheme: fec.Hamming74},
-			CModel:  channel.BSC{BER: ber, Scheme: fec.Repetition3},
+			IModel:  &channel.BSC{BER: ber, Scheme: fec.Hamming74},
+			CModel:  &channel.BSC{BER: ber, Scheme: fec.Repetition3},
 		}, rng.Split())
 	})
 

@@ -67,7 +67,7 @@ func TestAnalyticalMapping(t *testing.T) {
 		t.Fatalf("mapped params invalid: %v", err)
 	}
 	// Non-FixedProb models map to 0.
-	c.IModel = channel.BSC{BER: 1e-6}
+	c.IModel = &channel.BSC{BER: 1e-6}
 	if c.Analytical().PF != 0 {
 		t.Fatal("BSC should not map to a fixed P_F")
 	}

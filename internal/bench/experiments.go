@@ -378,8 +378,8 @@ func E7BurstResilience() *Result {
 	bursts := []sim.Duration{5 * sim.Millisecond, 15 * sim.Millisecond, 25 * sim.Millisecond, 60 * sim.Millisecond}
 	cfgs := make([]RunConfig, 0, 2*len(bursts))
 	for _, burst := range bursts {
-		mk := func() channel.BurstTrain {
-			return channel.BurstTrain{
+		mk := func() *channel.BurstTrain {
+			return &channel.BurstTrain{
 				Period:   250 * sim.Millisecond,
 				BurstLen: burst,
 				Offset:   40 * sim.Millisecond,
@@ -739,8 +739,8 @@ func E14HybridFECTradeoff() *Result {
 			// the hopeless uncoded runs at high BER (they report 0).
 			cl.N = 5000
 			cl.Horizon = 20 * sim.Second
-			cl.IModel = channel.BSC{BER: ber, Scheme: c.scheme}
-			cl.CModel = channel.BSC{BER: ber, Scheme: fec.Repetition3}
+			cl.IModel = &channel.BSC{BER: ber, Scheme: c.scheme}
+			cl.CModel = &channel.BSC{BER: ber, Scheme: fec.Repetition3}
 			cl.IExpansion = c.scheme.Overhead()
 			cl.CExpansion = fec.Repetition3.Overhead()
 			cfgs = append(cfgs, cl)

@@ -187,7 +187,7 @@ func TestFixedProbRate(t *testing.T) {
 func TestBSCMatchesFECAlgebra(t *testing.T) {
 	sched := sim.NewScheduler()
 	ber := 1e-4
-	p := NewPipe(sched, PipeConfig{IModel: BSC{BER: ber}}, sim.NewRNG(8))
+	p := NewPipe(sched, PipeConfig{IModel: &BSC{BER: ber}}, sim.NewRNG(8))
 	corrupted := 0
 	p.SetHandler(func(_ sim.Time, f *frame.Frame) {
 		if f.Corrupted {
@@ -244,7 +244,7 @@ func TestGilbertElliottBursts(t *testing.T) {
 
 func TestBurstTrainDeterministic(t *testing.T) {
 	sched := sim.NewScheduler()
-	bt := BurstTrain{Period: 10 * sim.Millisecond, BurstLen: 2 * sim.Millisecond}
+	bt := &BurstTrain{Period: 10 * sim.Millisecond, BurstLen: 2 * sim.Millisecond}
 	p := NewPipe(sched, PipeConfig{RateBps: 8e6, IModel: bt}, sim.NewRNG(10))
 	var corrupted []bool
 	var arrivals []sim.Time
@@ -361,16 +361,16 @@ func TestPipePanicsOnNilArgs(t *testing.T) {
 	mustPanic("nil rng", func() { NewPipe(sched, PipeConfig{}, nil) })
 	mustPanic("bad GE", func() { NewGilbertElliott(0, 1, 0, 1, fec.Scheme{}) })
 	mustPanic("bad train", func() {
-		BurstTrain{}.Corrupt(sim.NewRNG(1), 0, 1, 1)
+		(&BurstTrain{}).Corrupt(sim.NewRNG(1), 0, 1, 1)
 	})
 }
 
 func TestErrorModelStrings(t *testing.T) {
 	for _, s := range []string{
 		FixedProb{0.5}.String(),
-		BSC{BER: 1e-6}.String(),
+		(&BSC{BER: 1e-6}).String(),
 		NewGilbertElliott(0, 1, 1, 1, fec.Scheme{}).String(),
-		BurstTrain{Period: 1, BurstLen: 1}.String(),
+		(&BurstTrain{Period: 1, BurstLen: 1}).String(),
 	} {
 		if s == "" {
 			t.Fatal("empty model description")
@@ -385,7 +385,7 @@ func BenchmarkPipeSendDeliver(b *testing.B) {
 	p := NewPipe(sched, PipeConfig{
 		RateBps: 1e9,
 		Delay:   ConstantDelay(10 * sim.Millisecond),
-		IModel:  BSC{BER: 1e-6},
+		IModel:  &BSC{BER: 1e-6},
 		Metrics: metrics.New(),
 	}, sim.NewRNG(1))
 	p.SetHandler(func(sim.Time, *frame.Frame) {})

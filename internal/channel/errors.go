@@ -49,21 +49,59 @@ func (m FixedProb) Corrupt(rng *sim.RNG, _, _ sim.Time, _ int) bool {
 	return rng.Bernoulli(m.P)
 }
 
+// fepCache memoizes fec.Scheme.FrameErrorProb per error model. A run uses
+// only a handful of (BER, frame-length) pairs — I-frames are fixed-size,
+// control frames come in two or three lengths — yet the closed form costs a
+// Log1p and an Expm1 per frame. The cache is a linear-scanned fixed array:
+// at these sizes that beats a map, and when it fills (it never does in
+// practice) extra pairs simply fall through to the computation, so cached
+// and uncached paths return bit-identical probabilities either way.
+//
+// Models embedding a fepCache key it by (BER, bits) only, so their Scheme
+// field must not change once frames start flowing.
+type fepCache struct {
+	n    int
+	keys [16]fepKey
+	vals [16]float64
+}
+
+type fepKey struct {
+	ber  float64
+	bits int
+}
+
+func (c *fepCache) prob(s fec.Scheme, ber float64, bits int) float64 {
+	k := fepKey{ber, bits}
+	for i := 0; i < c.n; i++ {
+		if c.keys[i] == k {
+			return c.vals[i]
+		}
+	}
+	if s.N == 0 {
+		s = fec.Uncoded
+	}
+	p := s.FrameErrorProb(ber, bits)
+	if c.n < len(c.keys) {
+		c.keys[c.n] = k
+		c.vals[c.n] = p
+		c.n++
+	}
+	return p
+}
+
 // BSC is a binary symmetric channel seen through an FEC scheme: bit errors
 // occur independently at rate BER, and the frame is corrupted if any FEC
 // block is uncorrectable. With Scheme zero-valued, fec.Uncoded is assumed.
 type BSC struct {
 	BER    float64
 	Scheme fec.Scheme
+
+	cache fepCache
 }
 
 // Corrupt evaluates the residual frame error probability for this length.
-func (m BSC) Corrupt(rng *sim.RNG, _, _ sim.Time, bits int) bool {
-	s := m.Scheme
-	if s.N == 0 {
-		s = fec.Uncoded
-	}
-	return rng.Bernoulli(s.FrameErrorProb(m.BER, bits))
+func (m *BSC) Corrupt(rng *sim.RNG, _, _ sim.Time, bits int) bool {
+	return rng.Bernoulli(m.cache.prob(m.Scheme, m.BER, bits))
 }
 
 // GilbertElliott is the classic two-state burst error model: a Good state
@@ -79,6 +117,8 @@ type GilbertElliott struct {
 	init       bool
 	inBad      bool
 	stateUntil sim.Time
+
+	cache fepCache
 }
 
 // NewGilbertElliott returns a model starting in the Good state.
@@ -125,11 +165,7 @@ func (m *GilbertElliott) Corrupt(rng *sim.RNG, start, end sim.Time, bits int) bo
 	if overlapsBad {
 		ber = m.BadBER
 	}
-	s := m.Scheme
-	if s.N == 0 {
-		s = fec.Uncoded
-	}
-	return rng.Bernoulli(s.FrameErrorProb(ber, bits))
+	return rng.Bernoulli(m.cache.prob(m.Scheme, ber, bits))
 }
 
 // MeanBurstLen returns the mean duration of a bad-state burst.
@@ -145,22 +181,20 @@ type BurstTrain struct {
 	Offset   sim.Duration
 	BaseBER  float64
 	Scheme   fec.Scheme
+
+	cache fepCache
 }
 
 // Corrupt destroys frames overlapping a burst and otherwise applies the
 // base BSC.
-func (m BurstTrain) Corrupt(rng *sim.RNG, start, end sim.Time, bits int) bool {
+func (m *BurstTrain) Corrupt(rng *sim.RNG, start, end sim.Time, bits int) bool {
 	if m.Period <= 0 {
 		panic("channel: BurstTrain with non-positive period")
 	}
 	if m.BurstLen > 0 && overlapsTrain(start, end, m.Offset, m.Period, m.BurstLen) {
 		return true
 	}
-	s := m.Scheme
-	if s.N == 0 {
-		s = fec.Uncoded
-	}
-	return rng.Bernoulli(s.FrameErrorProb(m.BaseBER, bits))
+	return rng.Bernoulli(m.cache.prob(m.Scheme, m.BaseBER, bits))
 }
 
 // overlapsTrain reports whether [start, end) intersects any interval
@@ -186,13 +220,13 @@ func overlapsTrain(start, end sim.Time, offset, period, burst sim.Duration) bool
 // String summaries for experiment logs.
 func (m FixedProb) String() string { return fmt.Sprintf("fixed(p=%g)", m.P) }
 
-func (m BSC) String() string { return fmt.Sprintf("bsc(ber=%g,%s)", m.BER, schemeName(m.Scheme)) }
+func (m *BSC) String() string { return fmt.Sprintf("bsc(ber=%g,%s)", m.BER, schemeName(m.Scheme)) }
 
 func (m *GilbertElliott) String() string {
 	return fmt.Sprintf("gilbert-elliott(good=%g,bad=%g,burst=%v)", m.GoodBER, m.BadBER, m.MeanBad)
 }
 
-func (m BurstTrain) String() string {
+func (m *BurstTrain) String() string {
 	return fmt.Sprintf("burst-train(period=%v,len=%v,ber=%g)", m.Period, m.BurstLen, m.BaseBER)
 }
 

@@ -1,0 +1,167 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fec"
+	"repro/internal/sim"
+)
+
+// disableFEPCache fills the cache with keys that can never match (NaN never
+// compares equal), so every prob() call falls through to the closed-form
+// computation — the exact "no cache" code path the production models used
+// before memoization.
+func disableFEPCache(c *fepCache) {
+	c.n = len(c.keys)
+	for i := range c.keys {
+		c.keys[i] = fepKey{ber: math.NaN(), bits: -1}
+	}
+}
+
+// TestFEPCacheDecisionsMatchUncached drives each caching model and an
+// identical cache-disabled twin with paired RNG streams and asserts every
+// corruption decision matches, including bits=0 frames and enough distinct
+// (BER, bits) pairs to exercise both hit and miss paths.
+func TestFEPCacheDecisionsMatchUncached(t *testing.T) {
+	cases := map[string]func() (cached, plain ErrorModel){
+		"bsc": func() (ErrorModel, ErrorModel) {
+			a := &BSC{BER: 1e-5, Scheme: fec.Hamming74}
+			b := &BSC{BER: 1e-5, Scheme: fec.Hamming74}
+			disableFEPCache(&b.cache)
+			return a, b
+		},
+		"gilbert-elliott": func() (ErrorModel, ErrorModel) {
+			a := NewGilbertElliott(1e-7, 1e-3, sim.Millisecond, 200*sim.Microsecond, fec.Repetition3)
+			b := NewGilbertElliott(1e-7, 1e-3, sim.Millisecond, 200*sim.Microsecond, fec.Repetition3)
+			disableFEPCache(&b.cache)
+			return a, b
+		},
+		"burst-train": func() (ErrorModel, ErrorModel) {
+			a := &BurstTrain{Period: sim.Millisecond, BurstLen: 100 * sim.Microsecond, BaseBER: 1e-5}
+			b := &BurstTrain{Period: sim.Millisecond, BurstLen: 100 * sim.Microsecond, BaseBER: 1e-5}
+			disableFEPCache(&b.cache)
+			return a, b
+		},
+	}
+	lengths := []int{0, 1, 800, 8192}
+	for name, mk := range cases {
+		cached, plain := mk()
+		r1, r2 := sim.NewRNG(42), sim.NewRNG(42)
+		at := sim.Time(0)
+		for i := 0; i < 5000; i++ {
+			bits := lengths[i%len(lengths)]
+			d := sim.Duration(50+i%7*31) * sim.Microsecond
+			got := cached.Corrupt(r1, at, at.Add(d), bits)
+			want := plain.Corrupt(r2, at, at.Add(d), bits)
+			if got != want {
+				t.Fatalf("%s: frame %d (bits=%d): cached=%v uncached=%v", name, i, bits, got, want)
+			}
+			at = at.Add(d)
+		}
+	}
+}
+
+// TestFEPCacheOverflowFallsThrough uses more distinct (BER, bits) keys than
+// the cache holds; decisions beyond capacity must still match the direct
+// computation exactly.
+func TestFEPCacheOverflowFallsThrough(t *testing.T) {
+	a := &BSC{Scheme: fec.Hamming74}
+	b := &BSC{Scheme: fec.Hamming74}
+	disableFEPCache(&b.cache)
+	r1, r2 := sim.NewRNG(7), sim.NewRNG(7)
+	for pass := 0; pass < 3; pass++ {
+		for bits := 1; bits <= 40; bits++ {
+			a.BER, b.BER = 1e-4, 1e-4
+			if got, want := a.Corrupt(r1, 0, 1, bits*64), b.Corrupt(r2, 0, 1, bits*64); got != want {
+				t.Fatalf("pass %d bits=%d: cached=%v uncached=%v", pass, bits*64, got, want)
+			}
+		}
+	}
+	if a.cache.n != len(a.cache.keys) {
+		t.Fatalf("cache should be full: n=%d", a.cache.n)
+	}
+}
+
+// TestFEPCacheExtremeBER pins the degenerate probabilities: BER=0 never
+// corrupts, BER=1 always corrupts a non-empty frame, and a zero-bit frame is
+// never corrupted regardless of BER (FrameErrorProb(·, 0) = 0).
+func TestFEPCacheExtremeBER(t *testing.T) {
+	zero := &BSC{BER: 0}
+	one := &BSC{BER: 1}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		if zero.Corrupt(rng, 0, 1, 1000) {
+			t.Fatal("BER=0 corrupted a frame")
+		}
+		if !one.Corrupt(rng, 0, 1, 1000) {
+			t.Fatal("BER=1 delivered a frame intact")
+		}
+		if one.Corrupt(rng, 0, 1, 0) {
+			t.Fatal("zero-bit frame corrupted")
+		}
+	}
+}
+
+// TestGilbertElliottFrameEdge pins the overlap semantics when the state
+// transition lands exactly on a frame edge. GoodBER=0 and BadBER=1 turn the
+// corruption decision into a direct probe of overlapsBad.
+func TestGilbertElliottFrameEdge(t *testing.T) {
+	frame := func(m *GilbertElliott, start, end sim.Time) bool {
+		return m.Corrupt(sim.NewRNG(3), start, end, 1000)
+	}
+
+	// Bad state ends exactly at the frame end: the bad interval covers the
+	// whole frame, so it must corrupt.
+	m := NewGilbertElliott(0, 1, 3600*sim.Second, 3600*sim.Second, fec.Scheme{})
+	m.init, m.inBad, m.stateUntil = true, true, sim.Time(2000)
+	if !frame(m, 1000, 2000) {
+		t.Fatal("bad state covering [start, end) must corrupt")
+	}
+
+	// Bad state ends exactly at the frame start: [.., start) does not
+	// overlap [start, end), and with an hour-scale good sojourn the next
+	// bad interval is far beyond the frame.
+	m = NewGilbertElliott(0, 1, 3600*sim.Second, 3600*sim.Second, fec.Scheme{})
+	m.init, m.inBad, m.stateUntil = true, true, sim.Time(1000)
+	if frame(m, 1000, 2000) {
+		t.Fatal("bad state ending exactly at frame start must not corrupt")
+	}
+
+	// The same two scenarios with the cache disabled must decide
+	// identically.
+	m = NewGilbertElliott(0, 1, 3600*sim.Second, 3600*sim.Second, fec.Scheme{})
+	m.init, m.inBad, m.stateUntil = true, true, sim.Time(2000)
+	disableFEPCache(&m.cache)
+	if !frame(m, 1000, 2000) {
+		t.Fatal("uncached: bad state covering frame must corrupt")
+	}
+	m = NewGilbertElliott(0, 1, 3600*sim.Second, 3600*sim.Second, fec.Scheme{})
+	m.init, m.inBad, m.stateUntil = true, true, sim.Time(1000)
+	disableFEPCache(&m.cache)
+	if frame(m, 1000, 2000) {
+		t.Fatal("uncached: adjacent bad state must not corrupt")
+	}
+}
+
+// TestBurstTrainFrameEdge pins the half-open interval algebra of the
+// deterministic burst process: a burst [0, L) does not touch a frame
+// starting at L, and a frame ending at the next burst start is clean.
+func TestBurstTrainFrameEdge(t *testing.T) {
+	bt := &BurstTrain{Period: 10 * sim.Millisecond, BurstLen: 2 * sim.Millisecond, BaseBER: 0}
+	rng := sim.NewRNG(5)
+	L := sim.Time(2 * sim.Millisecond)
+	P := sim.Time(10 * sim.Millisecond)
+	if bt.Corrupt(rng, L, L+1000, 800) {
+		t.Fatal("frame starting exactly at burst end must be clean")
+	}
+	if bt.Corrupt(rng, P-1000, P, 800) {
+		t.Fatal("frame ending exactly at next burst start must be clean")
+	}
+	if !bt.Corrupt(rng, L-1, L, 800) {
+		t.Fatal("frame overlapping the last burst nanosecond must be destroyed")
+	}
+	if !bt.Corrupt(rng, P, P+1, 800) {
+		t.Fatal("frame overlapping the next burst start must be destroyed")
+	}
+}

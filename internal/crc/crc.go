@@ -48,7 +48,13 @@ func init() {
 }
 
 // FCS16 returns the HDLC frame check sequence (CRC-16/X.25) of data.
+// The hot loop uses slicing-by-8 (see slicing.go); fcs16Bytewise computes
+// the same function one byte at a time and cross-checks it in tests.
 func FCS16(data []byte) uint16 {
+	return update16(0xFFFF, data) ^ 0xFFFF
+}
+
+func fcs16Bytewise(data []byte) uint16 {
 	crc := uint16(0xFFFF)
 	for _, b := range data {
 		crc = (crc >> 8) ^ ccittTable[byte(crc)^b]
@@ -59,8 +65,13 @@ func FCS16(data []byte) uint16 {
 // CheckFCS16 reports whether sum is the correct FCS16 of data.
 func CheckFCS16(data []byte, sum uint16) bool { return FCS16(data) == sum }
 
-// Sum32 returns the CRC-32/IEEE checksum of data.
+// Sum32 returns the CRC-32/IEEE checksum of data. The hot loop uses
+// slicing-by-8; sum32Bytewise is the reference the tests cross-check.
 func Sum32(data []byte) uint32 {
+	return update32(0xFFFFFFFF, data) ^ 0xFFFFFFFF
+}
+
+func sum32Bytewise(data []byte) uint32 {
 	crc := uint32(0xFFFFFFFF)
 	for _, b := range data {
 		crc = (crc >> 8) ^ ieeeTable[byte(crc)^b]

@@ -121,11 +121,39 @@ func TestFCS16Property(t *testing.T) {
 	}
 }
 
+func TestSlicingMatchesBytewise(t *testing.T) {
+	// The slicing-by-8 loops must compute exactly the bytewise function
+	// for every length (tails shorter than a full 8-byte step included)
+	// and for arbitrary content.
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i*131 + 17)
+	}
+	for n := 0; n <= len(data); n++ {
+		if got, want := FCS16(data[:n]), fcs16Bytewise(data[:n]); got != want {
+			t.Fatalf("FCS16 len=%d: slicing %#04x != bytewise %#04x", n, got, want)
+		}
+		if got, want := Sum32(data[:n]), sum32Bytewise(data[:n]); got != want {
+			t.Fatalf("Sum32 len=%d: slicing %#08x != bytewise %#08x", n, got, want)
+		}
+	}
+	f := func(a []byte) bool {
+		return FCS16(a) == fcs16Bytewise(a) && Sum32(a) == sum32Bytewise(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchSink keeps the checksum calls observable so the compiler cannot
+// eliminate the loop body.
+var benchSink uint32
+
 func BenchmarkFCS16_1K(b *testing.B) {
 	data := make([]byte, 1024)
 	b.SetBytes(1024)
 	for i := 0; i < b.N; i++ {
-		FCS16(data)
+		benchSink += uint32(FCS16(data))
 	}
 }
 
@@ -133,6 +161,22 @@ func BenchmarkSum32_4K(b *testing.B) {
 	data := make([]byte, 4096)
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
-		Sum32(data)
+		benchSink += Sum32(data)
+	}
+}
+
+func BenchmarkFCS16Bytewise_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		benchSink += uint32(fcs16Bytewise(data))
+	}
+}
+
+func BenchmarkSum32Bytewise_4K(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		benchSink += sum32Bytewise(data)
 	}
 }

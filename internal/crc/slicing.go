@@ -1,0 +1,71 @@
+package crc
+
+// Slicing-by-8 tables: t[0] is the classic bytewise table; t[j][i] extends
+// it so that eight input bytes fold into the running CRC with eight table
+// lookups and no inter-byte dependency chain. For a reflected CRC the
+// recurrence is t[j][i] = t[0][t[j-1][i] & 0xff] ^ (t[j-1][i] >> 8): one
+// more zero byte pushed through the register.
+var (
+	ccittSlice [8][256]uint16
+	ieeeSlice  [8][256]uint32
+)
+
+func init() {
+	ccittSlice[0] = ccittTable
+	for j := 1; j < 8; j++ {
+		for i := range ccittSlice[j] {
+			prev := ccittSlice[j-1][i]
+			ccittSlice[j][i] = ccittSlice[0][byte(prev)] ^ (prev >> 8)
+		}
+	}
+	ieeeSlice[0] = ieeeTable
+	for j := 1; j < 8; j++ {
+		for i := range ieeeSlice[j] {
+			prev := ieeeSlice[j-1][i]
+			ieeeSlice[j][i] = ieeeSlice[0][byte(prev)] ^ (prev >> 8)
+		}
+	}
+}
+
+// update16 folds data into crc eight bytes at a time, finishing the tail
+// bytewise. It computes exactly the same function as the bytewise loop.
+func update16(crc uint16, data []byte) uint16 {
+	for len(data) >= 8 {
+		crc ^= uint16(data[0]) | uint16(data[1])<<8
+		crc = ccittSlice[7][byte(crc)] ^
+			ccittSlice[6][byte(crc>>8)] ^
+			ccittSlice[5][data[2]] ^
+			ccittSlice[4][data[3]] ^
+			ccittSlice[3][data[4]] ^
+			ccittSlice[2][data[5]] ^
+			ccittSlice[1][data[6]] ^
+			ccittSlice[0][data[7]]
+		data = data[8:]
+	}
+	for _, b := range data {
+		crc = (crc >> 8) ^ ccittTable[byte(crc)^b]
+	}
+	return crc
+}
+
+// update32 is the CRC-32 analogue of update16: the 32-bit register absorbs
+// the first four bytes, the next four are folded through the low tables.
+func update32(crc uint32, data []byte) uint32 {
+	for len(data) >= 8 {
+		crc ^= uint32(data[0]) | uint32(data[1])<<8 |
+			uint32(data[2])<<16 | uint32(data[3])<<24
+		crc = ieeeSlice[7][byte(crc)] ^
+			ieeeSlice[6][byte(crc>>8)] ^
+			ieeeSlice[5][byte(crc>>16)] ^
+			ieeeSlice[4][byte(crc>>24)] ^
+			ieeeSlice[3][data[4]] ^
+			ieeeSlice[2][data[5]] ^
+			ieeeSlice[1][data[6]] ^
+			ieeeSlice[0][data[7]]
+		data = data[8:]
+	}
+	for _, b := range data {
+		crc = (crc >> 8) ^ ieeeTable[byte(crc)^b]
+	}
+	return crc
+}

@@ -1,8 +1,9 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // All protocol evaluation in this repository runs in virtual time: a Scheduler
-// owns a priority queue of events, and the simulation advances by executing
-// the earliest event and jumping the clock to its timestamp. Nothing waits on
+// owns a hierarchical timer wheel of events (see DESIGN.md §8), and the
+// simulation advances by executing the earliest event and jumping the clock
+// to its timestamp. Nothing waits on
 // the wall clock, so a simulated hour of a 1 Gbps satellite link runs in
 // milliseconds, and a run is exactly reproducible from its RNG seed
 // (assumption 8 of the paper's link model: deterministic parameters).

@@ -1,25 +1,62 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/metrics"
+)
+
+// The executive is a hierarchical timer wheel over absolute nanosecond
+// timestamps, replacing the earlier binary heap. Layout:
+//
+//   - Level 0 ("L0") is 4096 one-nanosecond slots covering the 2^12 ns
+//     window containing now. A two-level bitmap (l0sum summarising the 64
+//     words of l0occ) finds the earliest occupied slot in two
+//     TrailingZeros64 instructions.
+//   - Seven upper levels of 64 slots each cover 6 more bits of the
+//     timestamp apiece, so the wheel spans 2^(12+7*6) = 2^54 ns (~208
+//     simulated days) around now.
+//   - Events beyond the wheel span go to an unsorted overflow ladder (an
+//     intrusive list with an incrementally maintained minimum) and are
+//     pulled into the wheel when the clock enters their 2^54 ns block.
+//
+// Events at the same instant always hash to the same bucket at every
+// level, and buckets are append-ordered intrusive lists, so FIFO order
+// among same-instant events is structural — no sequence counter needed.
+//
+// The determinism contract of the heap version is preserved exactly:
+// events fire in (timestamp, insertion-order) order, Cancel is O(1)
+// (mark dead, reap lazily when the slot is visited — no sift), and a
+// callback observing Now() always sees the fired event's timestamp.
+const (
+	wheelL0Bits  = 12               // log2 of L0 slot count
+	wheelL0Slots = 1 << wheelL0Bits // one slot per nanosecond tick
+	wheelLvlBits = 6                // log2 of upper-level fan-out
+	wheelSlots   = 1 << wheelLvlBits
+	wheelUpper   = 7 // upper levels above L0
+	// wheelSpanBits is the number of timestamp bits the wheel resolves;
+	// events differing from now above this bit go to the overflow ladder.
+	wheelSpanBits = wheelL0Bits + wheelUpper*wheelLvlBits
 )
 
 // Event is a handle to a scheduled callback. It can be cancelled until it
 // fires; cancelling an already-fired or already-cancelled event is a no-op.
 type Event struct {
 	at     Time
-	seq    uint64 // tie-breaker: FIFO among events at the same instant
 	fn     func()
-	index  int // heap index, -1 once removed
+	next   *Event     // intrusive link: bucket chain, or freelist chain
+	owner  *Scheduler // scheduler that enqueued the event (for Cancel bookkeeping)
 	fired  bool
 	cancel bool
-	// detached marks an event scheduled via ScheduleDetached: no handle
-	// escaped to the caller, so the scheduler may recycle the Event object
-	// once it leaves the queue.
+	// detached marks an event whose handle never escaped to an
+	// arbitrary caller (ScheduleDetached, or the managed Timer/Ticker
+	// path which drops its handle synchronously on fire/stop): the
+	// scheduler may recycle the Event object once it leaves the wheel.
 	detached bool
+	// overflow marks an event currently parked on the overflow ladder,
+	// so Cancel can keep the ladder's dead-event count accurate.
+	overflow bool
 }
 
 // At returns the instant the event is (or was) scheduled to fire.
@@ -31,59 +68,78 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // Fired reports whether the event's callback has run.
 func (e *Event) Fired() bool { return e.fired }
 
-type eventHeap []*Event
+// bucket is an append-ordered intrusive event list. Append order is
+// insertion order, which is what makes same-instant FIFO structural.
+type bucket struct {
+	head, tail *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (b *bucket) push(e *Event) {
+	e.next = nil
+	if b.tail == nil {
+		b.head = e
+	} else {
+		b.tail.next = e
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	b.tail = e
 }
 
-// Scheduler is the discrete-event executive: a clock plus an ordered queue of
-// pending events. Events scheduled for the same instant fire in FIFO order.
-// The zero Scheduler is ready to use.
+// Scheduler is the discrete-event executive: a clock plus a hierarchical
+// timer wheel of pending events. Events scheduled for the same instant fire
+// in FIFO order. The zero Scheduler is ready to use.
 type Scheduler struct {
 	now     Time
-	queue   eventHeap
-	seq     uint64
 	stopped bool
 	// executed counts callbacks run; exposed for tests and for guarding
 	// against runaway simulations.
 	executed uint64
-	// free is the recycle list for detached events. Only events whose
-	// handle never escaped (ScheduleDetached) are returned here, so reuse
+	// live is the number of pending, uncancelled events (wheel + overflow).
+	live int
+	// peek caches the earliest live event when the scheduler can prove it
+	// is the earliest (sole live event, or inserted strictly before a
+	// valid peek). It lets the schedule→fire cycle skip the bitmap walk;
+	// nil means "unknown" and the fire path falls back to the scan. It is
+	// invalidated on fire and on Cancel, so it can never dangle.
+	peek *Event
+
+	// Level 0: one slot per nanosecond, two-level occupancy bitmap.
+	l0    [wheelL0Slots]bucket
+	l0occ [wheelL0Slots / 64]uint64
+	l0sum uint64
+
+	// Upper levels: 64 slots each, one occupancy word per level.
+	lv  [wheelUpper][wheelSlots]bucket
+	occ [wheelUpper]uint64
+
+	// Overflow ladder for events beyond the wheel span. overMin is the
+	// minimum live timestamp (valid while overLive > 0); cancellations
+	// bump overDead and the next sweep compacts and recomputes.
+	over     bucket
+	overMin  Time
+	overLive int
+	overDead int
+
+	// free is the recycle list for detached events (intrusive via next).
+	// Only events whose handle never escaped — or whose holder drops the
+	// handle synchronously (Timer/Ticker) — are returned here, so reuse
 	// can never alias a handle a caller still holds.
-	free []*Event
+	free *Event
 
 	// Observability instruments (nil when uninstrumented; all nil-safe).
-	// qPeak mirrors the queue-length high-water mark locally so the gauge
-	// is only written when the peak actually moves.
+	// The per-event counters are batched: the hot path bumps the plain
+	// nSched/nExec/nCanc/nRecy tallies and flushMetrics publishes the
+	// deltas at run-loop boundaries, so firing an event costs no atomic
+	// operations. qPeak mirrors the pending-event high-water mark locally
+	// so the gauge is only written when the peak actually moves.
 	mScheduled *metrics.Counter
 	mExecuted  *metrics.Counter
 	mCancelled *metrics.Counter
 	mRecycled  *metrics.Counter
 	mQueuePeak *metrics.Gauge
+	nSched     uint64
+	nExec      uint64
+	nCanc      uint64
+	nRecy      uint64
 	qPeak      int
 }
 
@@ -95,6 +151,7 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // sim_event_queue_peak gauge. A nil reg leaves the scheduler
 // uninstrumented (the increments become no-ops on nil instruments).
 func (s *Scheduler) Instrument(reg *metrics.Registry) {
+	s.flushMetrics() // publish (or drop, when uninstrumented) prior tallies
 	s.mScheduled = reg.Counter("sim_events_scheduled_total")
 	s.mExecuted = reg.Counter("sim_events_executed_total")
 	s.mCancelled = reg.Counter("sim_events_cancelled_total")
@@ -102,11 +159,34 @@ func (s *Scheduler) Instrument(reg *metrics.Registry) {
 	s.mQueuePeak = reg.Gauge("sim_event_queue_peak")
 }
 
+// flushMetrics publishes the batched event-churn tallies to the registered
+// counters. Run, RunUntil, and RunFor flush on exit, so snapshots taken
+// between runs (and the live endpoint, once per driver slice) see exact
+// totals without the hot path paying an atomic per event.
+func (s *Scheduler) flushMetrics() {
+	if s.nSched != 0 {
+		s.mScheduled.Add(s.nSched)
+		s.nSched = 0
+	}
+	if s.nExec != 0 {
+		s.mExecuted.Add(s.nExec)
+		s.nExec = 0
+	}
+	if s.nCanc != 0 {
+		s.mCancelled.Add(s.nCanc)
+		s.nCanc = 0
+	}
+	if s.nRecy != 0 {
+		s.mRecycled.Add(s.nRecy)
+		s.nRecy = 0
+	}
+}
+
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return s.live }
 
 // Executed returns the number of callbacks that have run.
 func (s *Scheduler) Executed() uint64 { return s.executed }
@@ -153,83 +233,371 @@ func (s *Scheduler) schedule(at Time, fn func(), detached bool) *Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	var e *Event
-	if n := len(s.free); n > 0 {
-		e = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		*e = Event{}
-		s.mRecycled.Inc()
+	e := s.free
+	if e != nil {
+		// Recycled events already carry owner == s (the freelist is
+		// per-scheduler); only the lifecycle flags need resetting.
+		s.free = e.next
+		e.fired, e.cancel, e.overflow = false, false, false
+		s.nRecy++
 	} else {
-		e = &Event{}
+		e = &Event{owner: s}
 	}
-	e.at, e.seq, e.fn, e.detached = at, s.seq, fn, detached
-	s.seq++
-	heap.Push(&s.queue, e)
-	s.mScheduled.Inc()
-	if len(s.queue) > s.qPeak {
-		s.qPeak = len(s.queue)
+	e.at, e.fn, e.detached = at, fn, detached
+	// The L0 case is inlined here: most events land within the current
+	// 4096 ns window, and the indirect call into insert costs as much as
+	// the bucket push itself.
+	if x := uint64(at) ^ uint64(s.now); x < wheelL0Slots {
+		sl := int(uint64(at)) & (wheelL0Slots - 1)
+		s.l0[sl].push(e)
+		s.l0occ[(sl>>6)&63] |= 1 << uint(sl&63)
+		s.l0sum |= 1 << uint((sl>>6)&63)
+	} else {
+		s.insert(e)
+	}
+	s.live++
+	if s.live == 1 || (s.peek != nil && at < s.peek.at) {
+		// Strict <: an equal-time insert keeps the earlier event as
+		// peek, preserving FIFO.
+		s.peek = e
+	}
+	s.nSched++
+	if s.live > s.qPeak {
+		s.qPeak = s.live
 		s.mQueuePeak.Set(float64(s.qPeak))
 	}
 	return e
 }
 
-// retire takes an event that left the queue: the callback reference is
+// insert places e in the wheel level determined by the highest bit in
+// which e.at differs from now, or on the overflow ladder when that bit is
+// above the wheel span. Callers cascading a bucket first advance now to
+// the bucket's span start so re-inserted events land strictly lower.
+func (s *Scheduler) insert(e *Event) {
+	x := uint64(e.at) ^ uint64(s.now)
+	switch {
+	case x>>wheelL0Bits == 0:
+		sl := int(uint64(e.at) & (wheelL0Slots - 1))
+		s.l0[sl].push(e)
+		s.l0occ[sl>>6] |= 1 << uint(sl&63)
+		s.l0sum |= 1 << uint(sl>>6)
+	case x>>wheelSpanBits != 0:
+		e.overflow = true
+		s.over.push(e)
+		if s.overLive == 0 || e.at < s.overMin {
+			s.overMin = e.at
+		}
+		s.overLive++
+	default:
+		l := (bits.Len64(x) - wheelL0Bits - 1) / wheelLvlBits
+		sl := int(uint64(e.at)>>uint(wheelL0Bits+l*wheelLvlBits)) & (wheelSlots - 1)
+		s.lv[l][sl].push(e)
+		s.occ[l] |= 1 << uint(sl)
+	}
+}
+
+func (s *Scheduler) clearL0(sl int) {
+	w := (sl >> 6) & 63
+	s.l0occ[w] &^= 1 << uint(sl&63)
+	if s.l0occ[w] == 0 {
+		s.l0sum &^= 1 << uint(w)
+	}
+}
+
+// retire takes an event that left the wheel: the callback reference is
 // dropped so completed closures (and everything they capture) become
 // garbage-collectable during long sweeps, and detached events return to the
 // recycle list.
 func (s *Scheduler) retire(e *Event) {
 	e.fn = nil
 	if e.detached {
-		s.free = append(s.free, e)
+		e.next = s.free
+		s.free = e
+	} else {
+		e.next = nil
 	}
 }
 
-// Cancel removes e from the queue if it has not fired. It is safe to call
-// multiple times and on events from other schedulers only if never enqueued
-// here (the heap index guards removal).
+// scanReap retires dead events in b, preserving the order of the live
+// ones, and returns the minimum live timestamp (Never if the bucket
+// drained) plus whether any live event remains.
+func (s *Scheduler) scanReap(b *bucket) (Time, bool) {
+	var head, tail *Event
+	min := Never
+	for e := b.head; e != nil; {
+		next := e.next
+		if e.cancel {
+			s.retire(e)
+		} else {
+			e.next = nil
+			if head == nil {
+				head = e
+			} else {
+				tail.next = e
+			}
+			tail = e
+			if e.at < min {
+				min = e.at
+			}
+		}
+		e = next
+	}
+	b.head, b.tail = head, tail
+	return min, head != nil
+}
+
+// sweepOverflow compacts the overflow ladder: dead events are retired,
+// events whose 2^54 ns block the clock has entered are inserted into the
+// wheel (in original insertion order, preserving FIFO), and the minimum of
+// the remainder is recomputed. Called whenever the clock crosses a block
+// boundary — before any user code runs in the new block — and to refresh
+// overMin after cancellations.
+func (s *Scheduler) sweepOverflow() {
+	var head, tail *Event
+	min := Never
+	live := 0
+	blk := uint64(s.now) >> wheelSpanBits
+	for e := s.over.head; e != nil; {
+		next := e.next
+		switch {
+		case e.cancel:
+			s.retire(e)
+		case uint64(e.at)>>wheelSpanBits == blk:
+			e.overflow = false
+			s.insert(e)
+		default:
+			e.next = nil
+			if head == nil {
+				head = e
+			} else {
+				tail.next = e
+			}
+			tail = e
+			if e.at < min {
+				min = e.at
+			}
+			live++
+		}
+		e = next
+	}
+	s.over.head, s.over.tail = head, tail
+	s.overMin, s.overLive, s.overDead = min, live, 0
+}
+
+// overflowMin returns the earliest live overflow timestamp, compacting
+// first if cancellations may have invalidated the cached minimum.
+func (s *Scheduler) overflowMin() Time {
+	if s.overDead > 0 {
+		s.sweepOverflow()
+	}
+	if s.overLive == 0 {
+		return Never
+	}
+	return s.overMin
+}
+
+// Cancel removes e from the schedule if it has not fired: the event is
+// marked dead in O(1) and reaped when its bucket is next visited — no
+// restructuring. It is safe to call multiple times and on nil.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.fired || e.cancel {
 		return
 	}
 	e.cancel = true
-	s.mCancelled.Inc()
-	if e.index >= 0 && e.index < len(s.queue) && s.queue[e.index] == e {
-		heap.Remove(&s.queue, e.index)
-		// The handle stays with the caller (never recycled), but the
-		// closure is dead weight from here on.
-		e.fn = nil
+	// The closure is dead weight from here on.
+	e.fn = nil
+	s.nCanc++
+	if o := e.owner; o != nil {
+		o.live--
+		if o.peek == e {
+			o.peek = nil
+		}
+		if e.overflow {
+			o.overLive--
+			o.overDead++
+		}
+	}
+}
+
+// stepUntil executes the earliest pending event if its timestamp is at or
+// before deadline, advancing the clock to it, and reports whether an event
+// fired. It is careful to mutate nothing user-visible (beyond reaping dead
+// events) when the answer is "no": cascades only happen once an event at
+// or before the deadline is known to exist.
+func (s *Scheduler) stepUntil(deadline Time) bool {
+	// Fastest path: the cached earliest event, fired straight off its L0
+	// bucket without the bitmap walk when it sits at the head.
+	if e := s.peek; e != nil {
+		if e.at > deadline {
+			return false
+		}
+		sl := int(uint64(e.at)) & (wheelL0Slots - 1)
+		bkt := &s.l0[sl]
+		if bkt.head == e {
+			s.peek = nil
+			bkt.head = e.next
+			if bkt.head == nil {
+				bkt.tail = nil
+				s.clearL0(sl)
+			}
+			s.now = e.at
+			e.fired = true
+			s.executed++
+			s.live--
+			s.nExec++
+			fn := e.fn
+			s.retire(e)
+			fn()
+			return true
+		}
+		// Peek is valid but not an L0 head (upper level, overflow, or
+		// behind a dead prefix): fall back to the scan.
+		s.peek = nil
+	}
+	for {
+		// Fast path: L0 holds the events of the 4096 ns window around
+		// now; its earliest occupied slot is the global minimum.
+		if s.l0sum != 0 {
+			w := bits.TrailingZeros64(s.l0sum) & 63
+			bb := bits.TrailingZeros64(s.l0occ[w]) & 63
+			sl := w<<6 | bb
+			bkt := &s.l0[sl]
+			e := bkt.head
+			for e != nil && e.cancel {
+				bkt.head = e.next
+				s.retire(e)
+				e = bkt.head
+			}
+			if e == nil {
+				bkt.tail = nil
+				s.clearL0(sl)
+				continue
+			}
+			if e.at > deadline {
+				return false
+			}
+			bkt.head = e.next
+			if bkt.head == nil {
+				bkt.tail = nil
+				s.clearL0(sl)
+			}
+			s.now = e.at
+			e.fired = true
+			s.executed++
+			s.live--
+			s.nExec++
+			fn := e.fn
+			// Retire before invoking: e is off the wheel and, if
+			// detached, has no outstanding references, so the callback
+			// may immediately reuse the slot for events it schedules.
+			s.retire(e)
+			fn()
+			return true
+		}
+
+		// L0 drained: cascade the earliest occupied upper bucket. The
+		// lowest occupied level's lowest occupied slot holds the global
+		// minimum (all levels share their upper timestamp bits with now).
+		lvl := -1
+		for i := range s.occ {
+			if s.occ[i] != 0 {
+				lvl = i
+				break
+			}
+		}
+		if lvl >= 0 {
+			sl := bits.TrailingZeros64(s.occ[lvl])
+			bkt := &s.lv[lvl][sl]
+			minAt, ok := s.scanReap(bkt)
+			if !ok {
+				s.occ[lvl] &^= 1 << uint(sl)
+				continue
+			}
+			if minAt > deadline {
+				return false
+			}
+			// Advance the clock to the bucket's span start — there is
+			// provably nothing pending in between — then re-insert its
+			// events, which now land strictly below lvl.
+			shift := uint(wheelL0Bits + lvl*wheelLvlBits)
+			start := minAt &^ (Time(1)<<shift - 1)
+			head := bkt.head
+			bkt.head, bkt.tail = nil, nil
+			s.occ[lvl] &^= 1 << uint(sl)
+			if start > s.now {
+				s.now = start
+			}
+			for e := head; e != nil; {
+				next := e.next
+				s.insert(e)
+				e = next
+			}
+			continue
+		}
+
+		// Wheel empty: pull the overflow ladder's block if it is due.
+		if s.overLive == 0 && s.overDead == 0 {
+			return false
+		}
+		m := s.overflowMin()
+		if m == Never || m > deadline {
+			return false
+		}
+		if bs := m >> wheelSpanBits << wheelSpanBits; bs > s.now {
+			s.now = bs
+		}
+		s.sweepOverflow()
 	}
 }
 
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			s.retire(e)
-			continue
-		}
-		s.now = e.at
-		e.fired = true
-		s.executed++
-		s.mExecuted.Inc()
-		fn := e.fn
-		// Retire before invoking: e is off the heap and, if detached, has
-		// no outstanding references, so the callback may immediately reuse
-		// the slot for events it schedules.
-		s.retire(e)
-		fn()
-		return true
-	}
-	return false
+	return s.stepUntil(Never)
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the schedule drains or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
 	for !s.stopped && s.Step() {
+	}
+	s.flushMetrics()
+}
+
+// advanceClock moves the clock forward to `to` after every event <= `to`
+// has fired. A jump that leaves the current L0 window invalidates the wheel
+// position of upper-level buckets lying on the clock's new path: their
+// events now share their whole level field with the clock, so the
+// lowest-occupied-slot-is-the-minimum invariant only survives if they
+// cascade down. Exactly one bucket per level (the slot `to` itself indexes)
+// can be affected — events in any other slot still differ from the clock in
+// that level's field, and events above a field `to` crossed would have
+// timestamps below `to` and have already fired.
+func (s *Scheduler) advanceClock(to Time) {
+	old := s.now
+	s.now = to
+	if uint64(old)>>wheelL0Bits == uint64(to)>>wheelL0Bits {
+		return // same L0 window: every placement is still valid
+	}
+	for l := 0; l < wheelUpper; l++ {
+		shift := uint(wheelL0Bits + l*wheelLvlBits)
+		sl := int(uint64(to)>>shift) & (wheelSlots - 1)
+		if s.occ[l]&(1<<uint(sl)) == 0 {
+			continue
+		}
+		bkt := &s.lv[l][sl]
+		head := bkt.head
+		bkt.head, bkt.tail = nil, nil
+		s.occ[l] &^= 1 << uint(sl)
+		for e := head; e != nil; {
+			next := e.next
+			if e.cancel {
+				s.retire(e)
+			} else {
+				s.insert(e) // lands strictly below level l
+			}
+			e = next
+		}
 	}
 }
 
@@ -238,12 +606,18 @@ func (s *Scheduler) Run() {
 // scheduled beyond the deadline remain queued.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
-		s.Step()
+	for !s.stopped && s.stepUntil(deadline) {
 	}
 	if !s.stopped && s.now < deadline {
-		s.now = deadline
+		crossed := uint64(s.now)>>wheelSpanBits != uint64(deadline)>>wheelSpanBits
+		s.advanceClock(deadline)
+		if crossed && s.overLive+s.overDead > 0 {
+			// Entering a new block: adopt its overflow events before
+			// any user code can schedule alongside them.
+			s.sweepOverflow()
+		}
 	}
+	s.flushMetrics()
 }
 
 // RunFor advances the simulation by d. Shorthand for RunUntil(Now+d).
@@ -254,14 +628,47 @@ func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // NextEventAt returns the timestamp of the earliest pending event, or Never
-// if the queue is empty.
+// if nothing is scheduled. It never advances the clock or reorders events;
+// dead events encountered during the scan are reaped.
 func (s *Scheduler) NextEventAt() Time {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancel {
-			s.retire(heap.Pop(&s.queue).(*Event))
+	if s.peek != nil {
+		return s.peek.at
+	}
+	for {
+		if s.l0sum != 0 {
+			w := bits.TrailingZeros64(s.l0sum)
+			bb := bits.TrailingZeros64(s.l0occ[w])
+			sl := w<<6 | bb
+			bkt := &s.l0[sl]
+			e := bkt.head
+			for e != nil && e.cancel {
+				bkt.head = e.next
+				s.retire(e)
+				e = bkt.head
+			}
+			if e == nil {
+				bkt.tail = nil
+				s.clearL0(sl)
+				continue
+			}
+			return e.at
+		}
+		lvl := -1
+		for i := range s.occ {
+			if s.occ[i] != 0 {
+				lvl = i
+				break
+			}
+		}
+		if lvl < 0 {
+			return s.overflowMin()
+		}
+		sl := bits.TrailingZeros64(s.occ[lvl])
+		minAt, ok := s.scanReap(&s.lv[lvl][sl])
+		if !ok {
+			s.occ[lvl] &^= 1 << uint(sl)
 			continue
 		}
-		return s.queue[0].at
+		return minAt
 	}
-	return Never
 }

@@ -346,3 +346,57 @@ func BenchmarkSchedulerChurnHandles(b *testing.B) {
 		b.Fatalf("fired %d, want %d", fired, b.N)
 	}
 }
+
+// BenchmarkSchedulerChurnDepth10k is BenchmarkSchedulerChurn with 10k
+// far-future events pending throughout — the standing population of failure
+// timers, checkpoint deadlines, and queued deliveries a saturated sweep
+// carries. A comparison-based queue pays O(log n) per operation for that
+// depth; a timer wheel should not care.
+func BenchmarkSchedulerChurnDepth10k(b *testing.B) {
+	s := NewScheduler()
+	s.Instrument(metrics.New())
+	for i := 0; i < 10000; i++ {
+		s.ScheduleDetached(Time(time.Hour)+Time(i)*Time(Millisecond), func() {})
+	}
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			s.ScheduleAfterDetached(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	s.ScheduleAfterDetached(Microsecond, tick)
+	for fired < b.N && s.Step() {
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d, want %d", fired, b.N)
+	}
+}
+
+// BenchmarkTimerRestart measures the arm/cancel cycle of a protocol timer
+// that almost never expires — the failure timer armed per Request-NAK and
+// stopped by the Enforced-NAK, restarted here once per simulated frame.
+func BenchmarkTimerRestart(b *testing.B) {
+	s := NewScheduler()
+	s.Instrument(metrics.New())
+	expired := 0
+	t := NewTimer(s, func() { expired++ })
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		t.Start(Millisecond) // long deadline: cancelled by the next tick
+		if fired < b.N {
+			s.ScheduleAfterDetached(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	s.ScheduleAfterDetached(Microsecond, tick)
+	s.Run()
+	if fired != b.N {
+		b.Fatalf("fired %d, want %d", fired, b.N)
+	}
+	_ = expired
+}

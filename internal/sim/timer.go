@@ -12,6 +12,9 @@ type Timer struct {
 	sched *Scheduler
 	fn    func()
 	ev    *Event
+	// expireFn is t.expire captured once at construction: evaluating a
+	// method value allocates, so arming a timer per frame must not.
+	expireFn func()
 }
 
 // NewTimer returns a stopped timer that will invoke fn on expiry.
@@ -22,20 +25,30 @@ func NewTimer(sched *Scheduler, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil callback")
 	}
-	return &Timer{sched: sched, fn: fn}
+	t := &Timer{sched: sched, fn: fn}
+	t.expireFn = t.expire
+	return t
 }
 
 // Start arms the timer to fire d from now, replacing any earlier deadline.
+//
+// Timer events are scheduled on the managed (recyclable) path: the timer
+// drops its Event reference synchronously on expiry and on Stop, so the
+// scheduler is free to recycle the object once it is reaped — an armed-and-
+// cancelled failure timer costs no allocation in steady state.
 func (t *Timer) Start(d Duration) {
 	t.Stop()
-	t.ev = t.sched.ScheduleAfter(d, t.expire)
+	if d < 0 {
+		d = 0
+	}
+	t.ev = t.sched.schedule(t.sched.now.Add(d), t.expireFn, true)
 }
 
 // StartAt arms the timer to fire at the given instant, replacing any earlier
 // deadline.
 func (t *Timer) StartAt(at Time) {
 	t.Stop()
-	t.ev = t.sched.Schedule(at, t.expire)
+	t.ev = t.sched.schedule(at, t.expireFn, true)
 }
 
 // Stop disarms the timer. Stopping a stopped timer is a no-op. It reports
@@ -77,6 +90,9 @@ type Ticker struct {
 	fn      func()
 	ev      *Event
 	running bool
+	// tickFn is t.tick captured once at construction so rearming every
+	// period does not allocate a fresh closure.
+	tickFn func()
 }
 
 // NewTicker returns a stopped ticker.
@@ -87,7 +103,9 @@ func NewTicker(sched *Scheduler, period Duration, fn func()) *Ticker {
 	if fn == nil {
 		panic("sim: NewTicker with nil callback")
 	}
-	return &Ticker{sched: sched, period: period, fn: fn}
+	t := &Ticker{sched: sched, period: period, fn: fn}
+	t.tickFn = t.tick
+	return t
 }
 
 // Start begins ticking; the first tick fires one period from now.
@@ -123,13 +141,15 @@ func (t *Ticker) SetPeriod(p Duration) {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.sched.ScheduleAfter(t.period, func() {
-		t.ev = nil
-		t.fn()
-		// The callback may have stopped or restarted the ticker; only
-		// rearm when it is still running and did not rearm itself.
-		if t.running && t.ev == nil {
-			t.arm()
-		}
-	})
+	t.ev = t.sched.schedule(t.sched.now.Add(t.period), t.tickFn, true)
+}
+
+func (t *Ticker) tick() {
+	t.ev = nil
+	t.fn()
+	// The callback may have stopped or restarted the ticker; only
+	// rearm when it is still running and did not rearm itself.
+	if t.running && t.ev == nil {
+		t.arm()
+	}
 }

@@ -124,13 +124,13 @@ func (p LinkParams) models() (iModel, cModel channel.ErrorModel) {
 		bi, bc := *p.Burst, *p.Burst
 		bi.BaseBER, bi.Scheme = p.BER, fec.Hamming74
 		bc.BaseBER, bc.Scheme = p.BER, fec.Repetition3
-		return bi, bc
+		return &bi, &bc
 	}
 	if p.BER <= 0 {
 		return channel.Perfect{}, channel.Perfect{}
 	}
-	return channel.BSC{BER: p.BER, Scheme: fec.Hamming74},
-		channel.BSC{BER: p.BER, Scheme: fec.Repetition3}
+	return &channel.BSC{BER: p.BER, Scheme: fec.Hamming74},
+		&channel.BSC{BER: p.BER, Scheme: fec.Repetition3}
 }
 
 // NewLink materializes the link in this simulation.

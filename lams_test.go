@@ -79,10 +79,10 @@ func TestLinkParamsVariants(t *testing.T) {
 	// Burst overlay.
 	bt := &channel.BurstTrain{Period: sim.Second, BurstLen: sim.Millisecond}
 	im, cm = LinkParams{BER: 1e-6, Burst: bt}.models()
-	if _, ok := im.(channel.BurstTrain); !ok {
+	if _, ok := im.(*channel.BurstTrain); !ok {
 		t.Fatal("burst I model")
 	}
-	if _, ok := cm.(channel.BurstTrain); !ok {
+	if _, ok := cm.(*channel.BurstTrain); !ok {
 		t.Fatal("burst C model")
 	}
 }
