@@ -12,10 +12,19 @@ test:
 # the test binary so a regression that only bites the benchmark paths fails
 # CI instead of the next perf investigation.
 .PHONY: ci
-ci: test cover
+ci: test cover faultmatrix
 	go vet ./...
 	go test -race ./...
 	go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchtime 100x -benchmem
+
+# Recovery-path gate: the §3.2 invariant checker over the seed-pinned fault
+# matrix (outage, half-duplex blackout, storm, burst, skew, handover, and
+# the combined schedule, seeds 1–5), plus the workers-1-vs-8 determinism
+# pin on the faulted batch. Every PR touching recovery, timers, or the
+# channel runs its changes through this.
+.PHONY: faultmatrix
+faultmatrix:
+	go test ./internal/faults -count=1 -run 'TestFaultMatrix|TestFaultDeterminismAcrossWorkers'
 
 # Aggregate statement coverage across all packages. The per-function
 # breakdown lands in coverage.txt; the baseline is recorded in

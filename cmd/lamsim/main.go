@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/channel"
+	"repro/internal/faults"
 	"repro/internal/fec"
 	"repro/internal/frame"
 	"repro/internal/live"
@@ -69,6 +70,8 @@ func main() {
 
 		traceOut    = flag.String("trace-out", "", "stream the full link-event trace to this file as JSONL")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address; the process stays up after the run until interrupted")
+		faultSpec   = flag.String("faults", "", `fault schedule, e.g. "outage@2s+100ms; storm@4s+200ms:period=2ms,naks=4" (see internal/faults)`)
+		invariants  = flag.Bool("invariants", false, "attach the §3.2 invariant checker (lams only); violations print and fail the run")
 	)
 	flag.Parse()
 
@@ -95,6 +98,22 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "lamsim: unknown protocol %q\n", *proto)
 		os.Exit(2)
+	}
+
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lamsim: %v\n", err)
+			os.Exit(2)
+		}
+		c.Faults = spec
+	}
+	if *invariants {
+		if c.Protocol != bench.LAMS {
+			fmt.Fprintln(os.Stderr, "lamsim: -invariants applies to -proto lams only")
+			os.Exit(2)
+		}
+		c.CheckInvariants = true
 	}
 
 	frameBits := (*payload + 21) * 8
@@ -162,7 +181,20 @@ func main() {
 		fmt.Printf("recv buffer     max %.0f frames (dropped %d)\n", res.RecvBufMax, res.RecvDropped)
 		fmt.Printf("flow control    %d rate changes, final rate %.3f\n", res.RateChanges, res.FinalRate)
 		fmt.Printf("numbering span  %d live sequence numbers max\n", res.MaxLiveSpan)
-		fmt.Printf("failures        %d\n", res.Failures)
+		fmt.Printf("failures        %d (recoveries %d)\n", res.Failures, res.Recoveries)
+	}
+	if c.Faults != nil {
+		fmt.Printf("faults          %s\n", c.Faults)
+	}
+	if *invariants {
+		if len(res.Violations) == 0 {
+			fmt.Printf("invariants      ok (§3.2 contract held)\n")
+		} else {
+			fmt.Printf("invariants      %d violations:\n", len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+		}
 	}
 	if rec != nil {
 		fmt.Printf("\n--- last %d link events ---\n%s", len(rec.Events()), rec.Dump())
@@ -181,7 +213,12 @@ func main() {
 		<-sig
 		msrv.Close()
 	}
-	if res.Lost > 0 {
+	if len(res.Violations) > 0 {
+		os.Exit(1)
+	}
+	// A scripted failure-window outage legitimately strands datagrams; only
+	// treat loss as a run failure when the protocol never declared failure.
+	if res.Lost > 0 && res.Failures == 0 {
 		os.Exit(1)
 	}
 }

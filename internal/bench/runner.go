@@ -17,6 +17,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/arq"
 	"repro/internal/channel"
+	"repro/internal/faults"
 	"repro/internal/hdlc"
 	"repro/internal/lamsdlc"
 	"repro/internal/metrics"
@@ -86,6 +87,15 @@ type RunConfig struct {
 	Seed    uint64
 	Horizon sim.Duration // safety stop; 0 = 10 virtual minutes
 
+	// Faults, when non-nil, scripts deterministic link faults (outages,
+	// storms, bursts, skew, handovers) against the run; see
+	// internal/faults for the schedule grammar. Purely schedule-driven:
+	// a faulted run stays bit-identical at any worker count.
+	Faults *faults.Spec
+	// CheckInvariants attaches the §3.2 invariant checker (LAMS runs
+	// only); breaches land in RunResult.Violations.
+	CheckInvariants bool
+
 	// Metrics, when non-nil, is the registry the run's scheduler, channel,
 	// and protocol instruments report into (a live /metrics endpoint shares
 	// one registry across the run). When nil, Run creates a fresh per-run
@@ -125,6 +135,10 @@ type RunResult struct {
 	// counter, gauge, and histogram the instrumented layers reported
 	// (lams_*/hdlc_*/channel_*/sim_*; see each package's instruments).
 	Snapshot metrics.Snapshot
+
+	// Violations holds the invariant-checker findings when
+	// RunConfig.CheckInvariants was set (nil/empty = contract held).
+	Violations []faults.Violation
 }
 
 func (c RunConfig) lamsConfig() lamsdlc.Config {
@@ -180,7 +194,15 @@ func Run(c RunConfig) RunResult {
 	ab.Tap = c.TapAB
 	ba := c.pipe()
 	ba.Tap = c.TapBA
+	var inj *faults.Injector
+	if c.Faults != nil && len(c.Faults.Events) > 0 {
+		inj = faults.NewInjector(sched, c.Faults, c.Metrics)
+		inj.WrapPipeConfigs(&ab, &ba)
+	}
 	link := channel.NewAsymmetricLink(sched, ab, ba, rng)
+	if inj != nil {
+		inj.AttachLink(link)
+	}
 
 	got := make(map[uint64]int, c.N)
 	var lastDelivery sim.Time
@@ -199,14 +221,34 @@ func Run(c RunConfig) RunResult {
 	var enqueue workload.Sink
 	var backlog func() int
 	var maxSpan func() uint32
+	var chk *faults.Checker
+	var finish func(*RunResult)
 	finalRate := func() float64 { return 1 }
 
 	switch c.Protocol {
 	case LAMS:
-		pair := lamsdlc.NewPair(sched, link, c.lamsConfig(), deliver, nil)
+		lamsCfg := c.lamsConfig()
+		if c.CheckInvariants {
+			chk = faults.NewChecker(lamsCfg)
+			deliver = chk.WrapDeliver(deliver)
+		}
+		pair := lamsdlc.NewPair(sched, link, lamsCfg, deliver, nil)
+		if chk != nil {
+			pair.Sender.SetProbe(chk.Probe())
+			pair.Receiver.SetProbe(chk.Probe())
+			finish = func(res *RunResult) {
+				res.Violations = chk.Finish(pair.Sender.UnreleasedDatagrams())
+			}
+		}
+		if inj != nil {
+			inj.AttachReceiver(pair.Receiver, lamsCfg.CheckpointInterval)
+		}
 		pair.Start()
 		m = pair.Metrics
 		enqueue = pair.Sender.Enqueue
+		if chk != nil {
+			enqueue = chk.WrapSink(enqueue)
+		}
 		backlog = pair.Sender.Outstanding
 		maxSpan = pair.Sender.MaxLiveSpan
 		finalRate = pair.Sender.RateFraction
@@ -266,6 +308,9 @@ func Run(c RunConfig) RunResult {
 	}
 	if n := len(got); n > 0 {
 		res.TransPerFrame = float64(res.FirstTx+res.Retransmissions) / float64(n)
+	}
+	if finish != nil {
+		finish(&res)
 	}
 	res.Snapshot = c.Metrics.Snapshot()
 	return res

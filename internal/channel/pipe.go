@@ -187,15 +187,29 @@ func (p *Pipe) Send(f *frame.Frame) {
 	now := p.sched.Now()
 	g := frame.Get()
 	*g = *f
+	p.Stats.FramesSent.Inc()
+	p.Stats.BitsSent.Addn(uint64(g.Bits()))
+	p.mSent.Inc()
+	p.mBits.Add(uint64(g.Bits()))
+	if p.down {
+		// Frames launched into a dead link vanish (beam lost). The modem
+		// squelches rather than serializes, so a dead-beam frame occupies
+		// no wire time: the wire is immediately usable at restoration, and
+		// an outage-era retransmission flood cannot leak airtime into
+		// post-restoration queueing.
+		p.Stats.FramesLost.Inc()
+		p.mLost.Inc()
+		if p.cfg.Tap != nil {
+			p.cfg.Tap(now, "drop", g)
+		}
+		frame.Put(g)
+		return
+	}
 	start := sim.MaxTime(now, p.busyUntil)
 	tx := p.TxTime(g)
 	depart := start.Add(tx)
 	p.busyUntil = depart
 
-	p.Stats.FramesSent.Inc()
-	p.Stats.BitsSent.Addn(uint64(g.Bits()))
-	p.mSent.Inc()
-	p.mBits.Add(uint64(g.Bits()))
 	p.mQueueNS.Observe(float64(start.Sub(now)))
 	var model ErrorModel
 	if g.Kind.Control() {
@@ -215,16 +229,6 @@ func (p *Pipe) Send(f *frame.Frame) {
 		if p.cfg.Tap != nil {
 			p.cfg.Tap(now, "corrupt", g)
 		}
-	}
-	if p.down {
-		// Frames launched into a dead link vanish (beam lost).
-		p.Stats.FramesLost.Inc()
-		p.mLost.Inc()
-		if p.cfg.Tap != nil {
-			p.cfg.Tap(now, "drop", g)
-		}
-		frame.Put(g)
-		return
 	}
 
 	arrival := depart.Add(p.cfg.Delay(depart))
@@ -261,7 +265,7 @@ func (p *Pipe) Send(f *frame.Frame) {
 
 // SetDown marks the pipe dead (true) or alive (false). Frames already in
 // flight when the pipe goes down are lost at arrival time; frames sent while
-// down are lost immediately.
+// down are lost immediately, without occupying wire time.
 func (p *Pipe) SetDown(down bool) { p.down = down }
 
 // Down reports whether the pipe is dead.

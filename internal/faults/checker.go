@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arq"
+	"repro/internal/lamsdlc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Violation is one observed breach of the §3.2 contract.
+type Violation struct {
+	At     sim.Time
+	Rule   string // short rule id, e.g. "recovery-entry"
+	Detail string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v [%s] %s", v.At, v.Rule, v.Detail)
+}
+
+// Checker asserts the paper's reliability and recovery contract over one
+// LAMS-DLC run, from outside the protocol: it observes state transitions
+// through a lamsdlc.Probe and the datagram flow through wrapped
+// workload/delivery callbacks, and accumulates violations instead of
+// panicking so a single run can report every breach it provoked.
+//
+// The rules (DESIGN.md §9 states them with their derivations):
+//
+//	recovery-entry   Enforced Recovery begins only after a full
+//	                 CheckpointTimerTimeout of checkpoint silence.
+//	recovery-exit    Recovery ends only on an Enforced-NAK/Resolving
+//	                 response the sender actually heard at that instant.
+//	recovery-gate    No first transmissions while recovering or failed.
+//	failure-window   Link failure is declared only from recovery, only
+//	                 after a full FailureTimeout of response silence, and
+//	                 never while checkpoints flowed after the solicitation.
+//	numbering        No live sequence-number incarnation outlives
+//	                 max(ResolvingPeriod, RoundTrip) plus the observed
+//	                 checkpoint gap — the §2.3 bound that keeps the
+//	                 numbering size finite.
+//	no-loss          Every accepted datagram is delivered or still held by
+//	                 the sender at the end of the run.
+//	duplicates       A datagram delivered k times was transmitted at least
+//	                 k times (duplicates stem only from retransmission).
+//	completion       With RequireCompletion and no declared failure, every
+//	                 accepted datagram is delivered by the end of the run —
+//	                 the rule that catches a permanently halted link.
+type Checker struct {
+	cfg lamsdlc.Config
+
+	// RequireCompletion enables the completion rule at Finish. Leave it
+	// set (the default from NewChecker) whenever the run's horizon
+	// comfortably covers the fault schedule plus recovery settle time.
+	RequireCompletion bool
+
+	probe lamsdlc.Probe
+
+	submitted   []uint64
+	submitSet   map[uint64]bool
+	delivered   map[uint64]int
+	transmitted map[uint64]int // total tx per datagram (first + retx)
+	liveTx      map[uint32]txRecord
+
+	recovering    bool
+	lastCpHeard   sim.Time
+	haveCp        bool
+	lastEnforced  sim.Time
+	haveEnforced  bool
+	lastReqNAK    sim.Time
+	haveReq       bool
+	failed        bool
+	checkpointsRx int
+
+	violations []Violation
+}
+
+type txRecord struct {
+	dgID uint64
+	at   sim.Time
+}
+
+// NewChecker builds a checker for endpoints running cfg. Install its
+// Probe() on the pair before Start, wrap the workload sink and delivery
+// callback, run, then call Finish.
+func NewChecker(cfg lamsdlc.Config) *Checker {
+	c := &Checker{
+		cfg:               cfg,
+		RequireCompletion: true,
+		submitSet:         make(map[uint64]bool),
+		delivered:         make(map[uint64]int),
+		transmitted:       make(map[uint64]int),
+		liveTx:            make(map[uint32]txRecord),
+	}
+	c.probe = lamsdlc.Probe{
+		CheckpointHeard:   c.onCheckpointHeard,
+		RecoveryStarted:   c.onRecoveryStarted,
+		RequestNAKSent:    c.onRequestNAK,
+		RecoveryEnded:     c.onRecoveryEnded,
+		FailureDeclared:   c.onFailure,
+		FirstTransmission: c.onFirstTx,
+		Retransmitted:     c.onRetx,
+		Released:          c.onReleased,
+	}
+	return c
+}
+
+// Probe returns the transition observer to install on both endpoints.
+func (c *Checker) Probe() *lamsdlc.Probe { return &c.probe }
+
+// WrapSink interposes submission tracking on a workload sink. Only
+// accepted datagrams (inner returned true) enter the contract.
+func (c *Checker) WrapSink(inner workload.Sink) workload.Sink {
+	return func(dg arq.Datagram) bool {
+		ok := inner(dg)
+		if ok && !c.submitSet[dg.ID] {
+			c.submitSet[dg.ID] = true
+			c.submitted = append(c.submitted, dg.ID)
+		}
+		return ok
+	}
+}
+
+// WrapDeliver interposes delivery tracking on a delivery callback (inner
+// may be nil).
+func (c *Checker) WrapDeliver(inner arq.DeliverFunc) arq.DeliverFunc {
+	return func(now sim.Time, dg arq.Datagram, seq uint32) {
+		c.delivered[dg.ID]++
+		if inner != nil {
+			inner(now, dg, seq)
+		}
+	}
+}
+
+func (c *Checker) violate(at sim.Time, rule, format string, args ...any) {
+	c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (c *Checker) onCheckpointHeard(now sim.Time, serial uint32, enforced bool) {
+	c.checkpointsRx++
+	// numbering: between this checkpoint and the previous one the sender
+	// had no opportunity to sweep, so every live incarnation must be
+	// younger than the steady-state bound stretched by the observed gap.
+	// The sweep the sender is about to run keeps the bound inductive.
+	gap := now.Sub(c.lastCpHeard) // from t=0 when this is the first
+	bound := c.cfg.ResolvingPeriod()
+	if rt := c.cfg.RoundTrip; rt > bound {
+		bound = rt
+	}
+	bound += gap
+	for seq, rec := range c.liveTx {
+		if age := now.Sub(rec.at); age > bound {
+			c.violate(now, "numbering", "seq %d (datagram %d) unresolved for %v, bound %v (resolving period %v + checkpoint gap %v)",
+				seq, rec.dgID, age, bound, c.cfg.ResolvingPeriod(), gap)
+		}
+	}
+	c.lastCpHeard, c.haveCp = now, true
+	if enforced {
+		c.lastEnforced, c.haveEnforced = now, true
+	}
+}
+
+func (c *Checker) onRecoveryStarted(now sim.Time) {
+	if c.recovering {
+		c.violate(now, "recovery-entry", "recovery re-entered while already recovering")
+	}
+	silence := now.Sub(c.lastCpHeard) // from t=0 before the first checkpoint
+	if min := c.cfg.CheckpointTimerTimeout(); silence < min {
+		c.violate(now, "recovery-entry", "recovery entered after only %v of checkpoint silence, want >= %v", silence, min)
+	}
+	c.recovering = true
+}
+
+func (c *Checker) onRequestNAK(now sim.Time, serial uint32) {
+	if !c.recovering {
+		c.violate(now, "recovery-entry", "Request-NAK %d sent outside Enforced Recovery", serial)
+	}
+	c.lastReqNAK, c.haveReq = now, true
+}
+
+func (c *Checker) onRecoveryEnded(now sim.Time, enforced bool) {
+	if !c.recovering {
+		c.violate(now, "recovery-exit", "recovery ended while not recovering")
+	}
+	if !enforced {
+		c.violate(now, "recovery-exit", "recovery ended by a non-enforced checkpoint")
+	}
+	if !c.haveEnforced || c.lastEnforced != now {
+		c.violate(now, "recovery-exit", "recovery ended with no Enforced-NAK heard at this instant")
+	}
+	c.recovering = false
+}
+
+func (c *Checker) onFailure(now sim.Time, reason string) {
+	defer func() { c.failed = true; c.recovering = false }()
+	if strings.Contains(reason, "lifetime") {
+		// Lifetime-based declarations (§3.2's unrecoverable case) bypass
+		// the solicitation protocol by design.
+		return
+	}
+	if !c.recovering {
+		c.violate(now, "failure-window", "failure declared outside Enforced Recovery: %s", reason)
+		return
+	}
+	if !c.haveReq {
+		c.violate(now, "failure-window", "failure declared with no Request-NAK ever sent")
+		return
+	}
+	if silence := now.Sub(c.lastReqNAK); silence < c.cfg.FailureTimeout() {
+		c.violate(now, "failure-window", "failure declared %v after the last solicitation, want >= %v", silence, c.cfg.FailureTimeout())
+	}
+	if c.haveCp && c.lastCpHeard > c.lastReqNAK {
+		c.violate(now, "failure-window", "failure declared although checkpoints arrived after the last solicitation")
+	}
+}
+
+func (c *Checker) onFirstTx(now sim.Time, seq uint32, dgID uint64) {
+	if c.recovering {
+		c.violate(now, "recovery-gate", "new I-frame (seq %d) transmitted during Enforced Recovery", seq)
+	}
+	if c.failed {
+		c.violate(now, "recovery-gate", "new I-frame (seq %d) transmitted after declared failure", seq)
+	}
+	c.liveTx[seq] = txRecord{dgID: dgID, at: now}
+	c.transmitted[dgID]++
+}
+
+func (c *Checker) onRetx(now sim.Time, oldSeq, newSeq uint32, dgID uint64, cause lamsdlc.RetxCause) {
+	if _, ok := c.liveTx[oldSeq]; !ok {
+		c.violate(now, "numbering", "retransmission retires unknown incarnation seq %d", oldSeq)
+	}
+	delete(c.liveTx, oldSeq)
+	c.liveTx[newSeq] = txRecord{dgID: dgID, at: now}
+	c.transmitted[dgID]++
+}
+
+func (c *Checker) onReleased(now sim.Time, seq uint32, dgID uint64) {
+	if _, ok := c.liveTx[seq]; !ok {
+		c.violate(now, "numbering", "release of unknown incarnation seq %d", seq)
+	}
+	delete(c.liveTx, seq)
+}
+
+// Checkpoints returns how many checkpoint-family frames the sender heard
+// (tests use it to confirm a schedule actually bit).
+func (c *Checker) Checkpoints() int { return c.checkpointsRx }
+
+// Failed reports whether the sender declared link failure during the run.
+func (c *Checker) Failed() bool { return c.failed }
+
+// Finish evaluates the end-of-run rules and returns every violation
+// accumulated over the run. unreleased is the sender's remaining buffer
+// (lamsdlc.Sender.UnreleasedDatagrams) — datagrams the contract still
+// charges to the sender rather than counting as lost.
+func (c *Checker) Finish(unreleased []arq.Datagram) []Violation {
+	held := make(map[uint64]bool, len(unreleased))
+	for _, dg := range unreleased {
+		held[dg.ID] = true
+	}
+	for _, id := range c.submitted {
+		n := c.delivered[id]
+		if n == 0 && !held[id] {
+			c.violate(0, "no-loss", "datagram %d accepted but neither delivered nor held by the sender", id)
+		}
+		if n == 0 && !c.failed && c.RequireCompletion {
+			c.violate(0, "completion", "datagram %d undelivered at end of run with no declared failure", id)
+		}
+		if n > 1 && c.transmitted[id] < n {
+			c.violate(0, "duplicates", "datagram %d delivered %d times but transmitted only %d times", id, n, c.transmitted[id])
+		}
+	}
+	for id := range c.delivered {
+		if len(c.submitSet) > 0 && !c.submitSet[id] {
+			c.violate(0, "no-loss", "datagram %d delivered but never accepted from the workload", id)
+		}
+	}
+	return c.violations
+}
+
+// Violations returns the breaches recorded so far (Finish appends the
+// end-of-run rules).
+func (c *Checker) Violations() []Violation { return c.violations }

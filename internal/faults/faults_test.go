@@ -1,0 +1,420 @@
+package faults_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arq"
+	"repro/internal/bench"
+	"repro/internal/channel"
+	"repro/internal/faults"
+	"repro/internal/lamsdlc"
+	"repro/internal/sim"
+)
+
+// --- Spec grammar -----------------------------------------------------------
+
+func TestParseSpecGrammar(t *testing.T) {
+	spec, err := faults.ParseSpec(
+		"half@2s+500ms:dir=ab; outage@1s+100ms; storm@4s+200ms:period=2ms,naks=4,serial=7,enforced=true; " +
+			"burst@5s+1s:len=2ms,gap=8ms,dir=ba; skew@6s:factor=2.5; handover@8s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(spec.Events))
+	}
+	// Sorted by start.
+	if spec.Events[0].Kind != faults.Outage || spec.Events[0].Start != sim.Duration(sim.Second) {
+		t.Fatalf("events not sorted by start: first = %+v", spec.Events[0])
+	}
+	half := spec.Events[1]
+	if half.Kind != faults.HalfDuplex || half.Dir != faults.AtoB || half.Dur != 500*sim.Millisecond {
+		t.Fatalf("half event = %+v", half)
+	}
+	storm := spec.Events[2]
+	if storm.Period != 2*sim.Millisecond || storm.NAKs != 4 || storm.Serial != 7 || !storm.Enforced {
+		t.Fatalf("storm event = %+v", storm)
+	}
+	if spec.Events[4].Factor != 2.5 || spec.Events[4].Dur != sim.Second {
+		t.Fatalf("skew defaults wrong: %+v", spec.Events[4])
+	}
+	if spec.Events[5].Dur != 30*sim.Millisecond {
+		t.Fatalf("handover default duration = %v, want 30ms", spec.Events[5].Dur)
+	}
+	if spec.End() != 8*sim.Second+30*sim.Millisecond {
+		t.Fatalf("End() = %v", spec.End())
+	}
+
+	// String round-trips through the parser.
+	again, err := faults.ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", spec.String(), err)
+	}
+	if !reflect.DeepEqual(spec, again) {
+		t.Fatalf("round trip changed the spec:\n%q\n%q", spec.String(), again.String())
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"nonsense@1s",                 // unknown kind
+		"outage",                      // missing @start
+		"outage@-1s",                  // negative start
+		"outage@1s+0s",                // non-positive duration
+		"half@1s:dir=both",            // half needs a single direction
+		"half@1s:dir=sideways",        // unknown direction
+		"storm@1s:period=0s",          // non-positive period
+		"storm@1s:naks=-1",            // negative NAK count
+		"skew@1s:factor=0",            // non-positive factor
+		"outage@1s:factor=2",          // parameter on wrong kind
+		"burst@1s:len=1ms,gap=oops",   // unparsable duration
+		"storm@1s:period",             // parameter without '='
+		"outage@banana",               // unparsable start
+	}
+	for _, text := range bad {
+		if _, err := faults.ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", text)
+		}
+	}
+}
+
+// --- Fault matrix -----------------------------------------------------------
+
+// comboSpec chains a checkpoint blackout, a stale-NAK storm, burst loss, a
+// handover cut-over, and a clock-skew window into one schedule.
+const comboSpec = "half@150ms+60ms:dir=ba; storm@300ms+100ms:period=2ms,naks=4,serial=1; " +
+	"burst@450ms+150ms:len=1ms,gap=6ms; handover@700ms; skew@800ms+200ms:factor=6"
+
+func matrixConfig(t *testing.T, spec string, seed uint64) bench.RunConfig {
+	t.Helper()
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return bench.RunConfig{
+		Protocol:        bench.LAMS,
+		N:               120,
+		PayloadBytes:    512,
+		OfferInterval:   8 * sim.Millisecond,
+		RateBps:         10e6,
+		OneWay:          10 * sim.Millisecond,
+		Icp:             10 * sim.Millisecond,
+		Cdepth:          3,
+		Tproc:           10 * sim.Microsecond,
+		Seed:            seed,
+		Horizon:         6 * sim.Second,
+		Faults:          s,
+		CheckInvariants: true,
+	}
+}
+
+// TestFaultMatrix is the standing acceptance gate: the §3.2 invariant
+// checker must hold over every fault class at seeds 1–5. Schedules that end
+// inside the failure window legitimately declare link failure (the paper's
+// behavior); everything else must deliver every datagram.
+func TestFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		spec       string
+		expectFail bool // schedule outlives the failure window by design
+	}{
+		{"outage-recover", "outage@200ms+60ms", false},
+		{"outage-fail", "outage@200ms+400ms", true},
+		{"blackout-ba", "half@200ms+60ms:dir=ba", false},
+		{"blackout-ba-fail", "half@200ms+400ms:dir=ba", true},
+		{"iframe-ab", "half@200ms+300ms:dir=ab", false},
+		{"storm-checkpoint", "storm@150ms+200ms:period=2ms,naks=6,serial=1", false},
+		{"storm-reqnak", "storm@150ms+100ms:period=3ms,dir=ab", false},
+		{"burst", "burst@150ms+200ms:len=2ms,gap=5ms", false},
+		// A 2ms+8ms burst cycle phase-locks with the 10ms checkpoint
+		// cadence: every checkpoint is corrupted for 200ms, a full silence
+		// window passes, and declaring failure is the correct §3.2 outcome.
+		{"burst-jam", "burst@150ms+200ms:len=2ms,gap=8ms", true},
+		{"skew", "skew@150ms+300ms:factor=6", false},
+		{"handover", "handover@250ms", false},
+		{"combo", comboSpec, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				res := bench.Run(matrixConfig(t, tc.spec, seed))
+				for _, v := range res.Violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				if tc.expectFail {
+					if res.Failures == 0 {
+						t.Errorf("seed %d: schedule should have declared link failure", seed)
+					}
+					continue
+				}
+				if res.Failures != 0 {
+					t.Errorf("seed %d: spurious link failure", seed)
+				}
+				if res.Lost != 0 {
+					t.Errorf("seed %d: lost %d datagrams", seed, res.Lost)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultDeterminismAcrossWorkers pins the injection path's determinism
+// contract: a faulted, checked batch is byte-identical at 1 and 8 workers.
+func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	var cfgs []bench.RunConfig
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfgs = append(cfgs, matrixConfig(t, comboSpec, seed))
+	}
+	var serial, parallel []bench.RunResult
+	bench.SetWorkers(1)
+	serial = bench.RunMany(cfgs)
+	bench.SetWorkers(8)
+	parallel = bench.RunMany(cfgs)
+	bench.SetWorkers(0)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("faulted runs differ across worker counts")
+	}
+	for i := range serial {
+		if len(serial[i].Violations) != 0 {
+			t.Fatalf("seed %d: violations: %v", cfgs[i].Seed, serial[i].Violations)
+		}
+	}
+}
+
+// --- Satellite regressions --------------------------------------------------
+
+// TestEnforcedRecoveryResolicitAfterBlackout is the Enforced-Recovery
+// re-arm regression: when a checkpoint blackout swallows the Enforced-NAK
+// response but periodic checkpoints resume, the sender must solicit again
+// off the first live checkpoint (silence window re-measured from that
+// solicitation) instead of waiting out the remainder of the original
+// failure timer. Pre-fix, recovery here ended only at the failure-timer
+// expiry (~285ms) plus a round trip; the bound below caught it.
+func TestEnforcedRecoveryResolicitAfterBlackout(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(1)
+	pcfg := channel.PipeConfig{RateBps: 10e6, Delay: channel.ConstantDelay(10 * sim.Millisecond)}
+	link := channel.NewLink(sched, pcfg, rng)
+
+	cfg := lamsdlc.Defaults(20 * sim.Millisecond)
+	cfg.CheckpointInterval = 10 * sim.Millisecond
+	cfg.CumulationDepth = 8 // widen FailureTimeout so the stall is visible
+
+	pair := lamsdlc.NewPair(sched, link, cfg, nil, nil)
+	var started, ended []sim.Time
+	var failures int
+	pair.Sender.SetProbe(&lamsdlc.Probe{
+		RecoveryStarted: func(now sim.Time) { started = append(started, now) },
+		RecoveryEnded:   func(now sim.Time, enforced bool) { ended = append(ended, now) },
+		FailureDeclared: func(now sim.Time, reason string) { failures++ },
+	})
+
+	// Checkpoint blackout 100ms–240ms: recovery begins mid-blackout, the
+	// Enforced-NAK answer dies on the dead return beam, checkpoints resume
+	// at restore.
+	spec, err := faults.ParseSpec("half@100ms+140ms:dir=ba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.NewInjector(sched, spec, nil).AttachLink(link)
+
+	pair.Start()
+	for i := 0; i < 40; i++ {
+		pair.Sender.Enqueue(arq.Datagram{ID: uint64(i + 1), Payload: make([]byte, 512)})
+	}
+	sched.RunUntil(sim.Time(600 * sim.Millisecond))
+
+	if failures != 0 {
+		t.Fatal("blackout shorter than the failure window still declared failure")
+	}
+	if len(started) != 1 || len(ended) != 1 {
+		t.Fatalf("recovery episodes: started %d times, ended %d times, want 1/1", len(started), len(ended))
+	}
+	restore := sim.Time(240 * sim.Millisecond)
+	// One checkpoint interval for the next emission, a round trip for the
+	// re-solicitation, small slack for wire and processing time.
+	bound := restore.Add(cfg.CheckpointInterval + cfg.RoundTrip + 5*sim.Millisecond)
+	if ended[0] > bound {
+		t.Fatalf("recovery ended at %v, want <= %v (re-solicit off the first live checkpoint)", ended[0], bound)
+	}
+}
+
+// TestNoStallAfterIFrameBeamOutage is the halted-link regression: during an
+// I-frame beam outage (checkpoints keep flowing, so no failure is ever
+// declared) every outstanding frame retransmits into the dead beam once per
+// resolving period, and each retransmission charges the send-rate budget.
+// Pre-fix that debt compounded for the whole outage — the longer the beam
+// was dark, the longer the re-established link stayed halted for new
+// I-frames (~530ms after a 4s outage here, growing linearly). The fix caps
+// the budget debt at one resolving period, so new traffic resumes as soon
+// as the outstanding frames clear (~110ms). The assertion: the first new
+// transmission after restore lands within four resolving periods.
+func TestNoStallAfterIFrameBeamOutage(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(1)
+	pcfg := channel.PipeConfig{RateBps: 1e6, Delay: channel.ConstantDelay(10 * sim.Millisecond)}
+	link := channel.NewLink(sched, pcfg, rng)
+
+	cfg := lamsdlc.Defaults(20 * sim.Millisecond)
+	cfg.CheckpointInterval = 10 * sim.Millisecond
+	cfg.CumulationDepth = 3
+
+	delivered := make(map[uint64]bool)
+	pair := lamsdlc.NewPair(sched, link, cfg,
+		func(_ sim.Time, dg arq.Datagram, _ uint32) { delivered[dg.ID] = true }, nil)
+	var firstTx []sim.Time
+	var failures int
+	pair.Sender.SetProbe(&lamsdlc.Probe{
+		FirstTransmission: func(now sim.Time, seq uint32, dgID uint64) { firstTx = append(firstTx, now) },
+		FailureDeclared:   func(sim.Time, string) { failures++ },
+	})
+
+	spec, err := faults.ParseSpec("half@300ms+4s:dir=ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.NewInjector(sched, spec, nil).AttachLink(link)
+
+	pair.Start()
+	// A deep backlog keeps the pump saturated across the outage, so the
+	// post-restore resume time is visible as the next first transmission.
+	for i := 0; i < 400; i++ {
+		pair.Sender.Enqueue(arq.Datagram{ID: uint64(i + 1), Payload: make([]byte, 1024)})
+	}
+	sched.RunUntil(sim.Time(12 * sim.Second))
+
+	if failures != 0 {
+		t.Fatal("I-frame outage with live checkpoints declared failure")
+	}
+	restore := sim.Time(4300 * sim.Millisecond)
+	var resumed sim.Time
+	for _, ts := range firstTx {
+		if ts > restore {
+			resumed = ts
+			break
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("no new I-frame transmission after the beam was restored")
+	}
+	if bound := restore.Add(4 * cfg.ResolvingPeriod()); resumed > bound {
+		t.Fatalf("first new transmission %v after restore at %v, want <= %v: link stayed halted", resumed, restore, bound)
+	}
+	if len(delivered) != 400 {
+		t.Fatalf("delivered %d of 400 datagrams", len(delivered))
+	}
+}
+
+// --- Checker self-tests -----------------------------------------------------
+
+// TestCheckerFlagsBreaches drives the checker's probe directly with
+// histories that violate each rule, confirming the harness can actually see
+// the bugs it exists to catch.
+func TestCheckerFlagsBreaches(t *testing.T) {
+	cfg := lamsdlc.Defaults(20 * sim.Millisecond)
+	at := func(ms int64) sim.Time { return sim.Time(sim.Duration(ms) * sim.Millisecond) }
+
+	rules := func(vs []faults.Violation) []string {
+		var out []string
+		for _, v := range vs {
+			out = append(out, v.Rule)
+		}
+		return out
+	}
+	expect := func(t *testing.T, vs []faults.Violation, rule string) {
+		t.Helper()
+		for _, v := range vs {
+			if v.Rule == rule {
+				return
+			}
+		}
+		t.Fatalf("no %q violation recorded; got %v", rule, rules(vs))
+	}
+
+	t.Run("recovery entered early", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		p := c.Probe()
+		p.CheckpointHeard(at(100), 1, false)
+		p.RecoveryStarted(at(110)) // 10ms of silence, want >= CheckpointTimerTimeout
+		expect(t, c.Violations(), "recovery-entry")
+	})
+	t.Run("recovery exit without response", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		p := c.Probe()
+		p.CheckpointHeard(at(100), 1, false)
+		p.RecoveryStarted(at(200))
+		p.RecoveryEnded(at(210), false) // no enforced frame heard at 210ms
+		expect(t, c.Violations(), "recovery-exit")
+	})
+	t.Run("new frame during recovery", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		p := c.Probe()
+		p.RecoveryStarted(at(200))
+		p.FirstTransmission(at(210), 5, 1)
+		expect(t, c.Violations(), "recovery-gate")
+	})
+	t.Run("failure before the silence window", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		p := c.Probe()
+		p.RecoveryStarted(at(200))
+		p.RequestNAKSent(at(200), 1)
+		p.FailureDeclared(at(210), "no enforced-NAK") // want >= FailureTimeout
+		expect(t, c.Violations(), "failure-window")
+	})
+	t.Run("stale incarnation outlives the resolving period", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		p := c.Probe()
+		p.FirstTransmission(at(0), 0, 1)
+		p.CheckpointHeard(at(10), 1, false)
+		// Steady 10ms checkpoint cadence, but seq 0 never resolves.
+		horizon := cfg.ResolvingPeriod() + cfg.RoundTrip + 100*sim.Millisecond
+		for ts := at(20); ts < sim.Time(horizon); ts = ts.Add(10 * sim.Millisecond) {
+			p.CheckpointHeard(ts, 1, false)
+		}
+		expect(t, c.Violations(), "numbering")
+	})
+	t.Run("datagram lost", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		accepted := c.WrapSink(func(arq.Datagram) bool { return true })
+		accepted(arq.Datagram{ID: 7})
+		vs := c.Finish(nil) // neither delivered nor held
+		expect(t, vs, "no-loss")
+		expect(t, vs, "completion")
+	})
+	t.Run("duplicate without retransmission", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		accepted := c.WrapSink(func(arq.Datagram) bool { return true })
+		deliver := c.WrapDeliver(nil)
+		accepted(arq.Datagram{ID: 7})
+		c.Probe().FirstTransmission(at(1), 0, 7)
+		deliver(at(30), arq.Datagram{ID: 7}, 0)
+		deliver(at(40), arq.Datagram{ID: 7}, 1) // second copy, only one tx
+		expect(t, c.Finish(nil), "duplicates")
+	})
+	t.Run("clean run stays clean", func(t *testing.T) {
+		c := faults.NewChecker(cfg)
+		accepted := c.WrapSink(func(arq.Datagram) bool { return true })
+		deliver := c.WrapDeliver(nil)
+		p := c.Probe()
+		accepted(arq.Datagram{ID: 7})
+		p.FirstTransmission(at(1), 0, 7)
+		p.CheckpointHeard(at(10), 1, false)
+		deliver(at(30), arq.Datagram{ID: 7}, 0)
+		p.CheckpointHeard(at(20), 2, false)
+		p.Released(at(20), 0, 7)
+		if vs := c.Finish(nil); len(vs) != 0 {
+			t.Fatalf("clean history produced violations: %v", vs)
+		}
+	})
+}
+
+// TestViolationString pins the report format the CLI prints.
+func TestViolationString(t *testing.T) {
+	v := faults.Violation{At: sim.Time(5 * sim.Millisecond), Rule: "no-loss", Detail: "datagram 3 vanished"}
+	s := v.String()
+	if !strings.Contains(s, "no-loss") || !strings.Contains(s, "datagram 3 vanished") {
+		t.Fatalf("Violation.String() = %q", s)
+	}
+}

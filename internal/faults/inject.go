@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/lamsdlc"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Injector arms a Spec against one simulated link. Lifecycle:
+//
+//	inj := NewInjector(sched, spec, reg)
+//	inj.WrapPipeConfigs(&ab, &ba)   // before the link is built: burst gates
+//	link := channel.NewAsymmetricLink(sched, ab, ba, rng)
+//	inj.AttachLink(link)            // outages, handovers, storms
+//	inj.AttachReceiver(recv, wcp)   // skew windows (LAMS runs only)
+//
+// Everything is schedule-driven: the injector draws no randomness, so a
+// faulted run is exactly as reproducible as a clean one — same spec, same
+// seed, same event sequence at any worker count.
+type Injector struct {
+	sched *sim.Scheduler
+	spec  *Spec
+
+	link       *channel.Link
+	downAB     int // overlap-safe down-counters per direction
+	downBA     int
+	recv       *lamsdlc.Receiver
+	basePeriod sim.Duration
+
+	mEvents      *metrics.Counter // lams_fault_events_total
+	mInjected    *metrics.Counter // lams_fault_frames_injected_total
+	mBurstHits   *metrics.Counter // lams_fault_burst_corrupted_total
+	mTransitions *metrics.Counter // lams_fault_link_transitions_total
+	mSkews       *metrics.Counter // lams_fault_skew_windows_total
+}
+
+// NewInjector builds an injector for the spec. reg may be nil (the
+// lams_fault_* instruments are nil-safe like every registry consumer).
+func NewInjector(sched *sim.Scheduler, spec *Spec, reg *metrics.Registry) *Injector {
+	return &Injector{
+		sched:        sched,
+		spec:         spec,
+		mEvents:      reg.Counter("lams_fault_events_total"),
+		mInjected:    reg.Counter("lams_fault_frames_injected_total"),
+		mBurstHits:   reg.Counter("lams_fault_burst_corrupted_total"),
+		mTransitions: reg.Counter("lams_fault_link_transitions_total"),
+		mSkews:       reg.Counter("lams_fault_skew_windows_total"),
+	}
+}
+
+// WrapPipeConfigs overlays the spec's burst episodes on the two directions'
+// error processes. Call before building the link: the gates wrap IModel and
+// CModel in place. Directions with no burst events are left untouched.
+func (inj *Injector) WrapPipeConfigs(ab, ba *channel.PipeConfig) {
+	var abBursts, baBursts []Event
+	for _, ev := range inj.spec.Events {
+		if ev.Kind != Burst {
+			continue
+		}
+		if ev.Dir == AtoB || ev.Dir == Both {
+			abBursts = append(abBursts, ev)
+		}
+		if ev.Dir == BtoA || ev.Dir == Both {
+			baBursts = append(baBursts, ev)
+		}
+	}
+	if len(abBursts) > 0 {
+		ab.IModel = &burstGate{inner: ab.IModel, events: abBursts, hits: inj.mBurstHits}
+		ab.CModel = &burstGate{inner: ab.CModel, events: abBursts, hits: inj.mBurstHits}
+	}
+	if len(baBursts) > 0 {
+		ba.IModel = &burstGate{inner: ba.IModel, events: baBursts, hits: inj.mBurstHits}
+		ba.CModel = &burstGate{inner: ba.CModel, events: baBursts, hits: inj.mBurstHits}
+	}
+}
+
+// burstGate overlays scripted burst-loss episodes on an error model: a frame
+// whose wire occupancy overlaps a burst interval is corrupted regardless of
+// the underlying process. The schedule is computed, not drawn, so the gate
+// consumes no randomness — the inner model's rng stream is untouched except
+// that it is still consulted first for every frame, keeping draw sequences
+// identical with and without overlapping bursts.
+type burstGate struct {
+	inner  channel.ErrorModel
+	events []Event
+	hits   *metrics.Counter
+}
+
+func (g *burstGate) Corrupt(rng *sim.RNG, start, end sim.Time, bits int) bool {
+	base := false
+	if g.inner != nil {
+		base = g.inner.Corrupt(rng, start, end, bits)
+	}
+	for _, ev := range g.events {
+		if g.overlaps(ev, start, end) {
+			if !base {
+				g.hits.Inc()
+			}
+			return true
+		}
+	}
+	return base
+}
+
+func (g *burstGate) overlaps(ev Event, start, end sim.Time) bool {
+	ws, we := sim.Time(ev.Start), sim.Time(ev.End())
+	if end <= ws || start >= we {
+		return false
+	}
+	// Clip the frame's occupancy to the window, then test the recurring
+	// bursts at ws + k·(len+gap), each lasting len.
+	s, e := sim.MaxTime(start, ws), sim.MinTime(end, we)
+	period := ev.BurstLen + ev.BurstGap
+	if period <= 0 {
+		return true // len>0, gap=0: the whole window is one burst
+	}
+	first := int64(s.Sub(ws)) / int64(period)
+	last := int64(e.Sub(ws)) / int64(period)
+	for k := first; k <= last; k++ {
+		bs := ws.Add(sim.Duration(k) * period)
+		be := bs.Add(ev.BurstLen)
+		if s < be && e > bs {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachLink schedules the spec's outage, handover, and storm episodes
+// against the link. Overlapping outages are reference-counted per direction,
+// so a direction revives only when every episode covering it has closed.
+func (inj *Injector) AttachLink(l *channel.Link) {
+	inj.link = l
+	for _, ev := range inj.spec.Events {
+		ev := ev
+		switch ev.Kind {
+		case Outage, Handover:
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.setDown(AtoB, +1); inj.setDown(BtoA, +1) })
+			inj.at(ev.End(), func() { inj.setDown(AtoB, -1); inj.setDown(BtoA, -1) })
+		case HalfDuplex:
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.setDown(ev.Dir, +1) })
+			inj.at(ev.End(), func() { inj.setDown(ev.Dir, -1) })
+		case Storm:
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.stormTick(ev, sim.Time(ev.End())) })
+		}
+	}
+}
+
+// AttachReceiver schedules the spec's clock-skew windows against a LAMS
+// receiver: the checkpoint period is scaled by the window's factor at open
+// and restored to basePeriod (W_cp) at close. Skew windows should not
+// overlap; with overlap, the last transition wins.
+func (inj *Injector) AttachReceiver(r *lamsdlc.Receiver, basePeriod sim.Duration) {
+	inj.recv = r
+	inj.basePeriod = basePeriod
+	for _, ev := range inj.spec.Events {
+		ev := ev
+		if ev.Kind != Skew {
+			continue
+		}
+		skewed := sim.Duration(float64(basePeriod) * ev.Factor)
+		if skewed <= 0 {
+			skewed = 1
+		}
+		inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.mSkews.Inc(); r.SetCheckpointPeriod(skewed) })
+		inj.at(ev.End(), func() { r.SetCheckpointPeriod(basePeriod) })
+	}
+}
+
+func (inj *Injector) at(d sim.Duration, fn func()) {
+	inj.sched.ScheduleDetached(sim.Time(d), fn)
+}
+
+func (inj *Injector) setDown(dir Dir, delta int) {
+	inj.mTransitions.Inc()
+	switch dir {
+	case AtoB:
+		inj.downAB += delta
+		inj.link.AtoB.SetDown(inj.downAB > 0)
+	case BtoA:
+		inj.downBA += delta
+		inj.link.BtoA.SetDown(inj.downBA > 0)
+	}
+}
+
+// stormTick injects one spurious control frame and re-arms until the
+// episode closes. Injected frames go through Pipe.Send, so they occupy real
+// wire time and suffer the direction's error process — a storm starves
+// legitimate control traffic exactly the way a jammed return beam would.
+func (inj *Injector) stormTick(ev Event, until sim.Time) {
+	now := inj.sched.Now()
+	if now >= until {
+		return
+	}
+	inj.injectStorm(ev)
+	inj.sched.ScheduleAfterDetached(ev.Period, func() { inj.stormTick(ev, until) })
+}
+
+func (inj *Injector) injectStorm(ev Event) {
+	if ev.Dir == BtoA || ev.Dir == Both {
+		// Spurious checkpoint toward the sender: stale serial, zero
+		// watermark (never releases anything), and a NAK list naming the
+		// first ev.NAKs sequence numbers — stale-NAK robustness is exactly
+		// what §3.2's renumbering is supposed to buy.
+		var naks []uint32
+		for i := 0; i < ev.NAKs; i++ {
+			naks = append(naks, uint32(i))
+		}
+		inj.link.BtoA.Send(frame.NewCheckpoint(ev.Serial, 0, naks, false, ev.Enforced))
+		inj.mInjected.Inc()
+	}
+	if ev.Dir == AtoB || ev.Dir == Both {
+		// Spurious Request-NAK toward the receiver: each one forces an
+		// immediate Enforced-NAK answer, doubling the storm back onto the
+		// checkpoint channel.
+		inj.link.AtoB.Send(frame.NewRequestNAK(ev.Serial))
+		inj.mInjected.Inc()
+	}
+}

@@ -150,11 +150,32 @@ func (c Config) Validate() error {
 	if c.MinRateFraction <= 0 || c.MinRateFraction > 1 {
 		return fmt.Errorf("lamsdlc: MinRateFraction must be in (0,1], got %v", c.MinRateFraction)
 	}
+	if c.StopGoHigh <= 0 || c.StopGoHigh > 1 {
+		return fmt.Errorf("lamsdlc: StopGoHigh must be in (0,1], got %v", c.StopGoHigh)
+	}
+	if c.StopGoLow <= 0 || c.StopGoLow > 1 {
+		return fmt.Errorf("lamsdlc: StopGoLow must be in (0,1], got %v", c.StopGoLow)
+	}
 	if c.StopGoHigh < c.StopGoLow {
 		return fmt.Errorf("lamsdlc: StopGoHigh below StopGoLow")
 	}
 	if c.RequestRetries < 0 {
 		return fmt.Errorf("lamsdlc: negative RequestRetries")
+	}
+	// Every recovery window must come out positive and un-saturated, or the
+	// sender's timers are nonsense: CheckpointTimeout saturates to the int64
+	// horizon when C_depth·W_cp overflows (sim.Scale clamps), after which
+	// FailureTimeout and ResolvingPeriod wrap negative when the round trip
+	// is added. A failure timer that never fires — or fires instantly —
+	// silently disables §3.2's failure declaration.
+	if ct := c.CheckpointTimeout(); ct <= 0 || ct == sim.Duration(1<<63-1) {
+		return fmt.Errorf("lamsdlc: CheckpointTimeout (C_depth*W_cp) overflows, got %v", ct)
+	}
+	if ft := c.FailureTimeout(); ft <= 0 {
+		return fmt.Errorf("lamsdlc: FailureTimeout must be positive, got %v", ft)
+	}
+	if rp := c.ResolvingPeriod(); rp <= 0 {
+		return fmt.Errorf("lamsdlc: ResolvingPeriod must be positive, got %v", rp)
 	}
 	return nil
 }
@@ -206,10 +227,19 @@ func (c Config) DedupHorizon() sim.Duration {
 // NumberingSize returns the bound on simultaneously outstanding sequence
 // numbers implied by the resolving period for the given mean frame time
 // t_f (§2.3: numbering size = H_frame / t_f, with H_frame bounded by the
-// resolving period in LAMS-DLC).
+// resolving period in LAMS-DLC). The division rounds up: at frame times
+// that do not divide the resolving period, truncation would undercount by
+// one — a frame started just inside the period still occupies a number —
+// so the bound is ceil(RP/t_f) + 1 (the +1 covers the partially elapsed
+// slot at the window's leading edge).
 func (c Config) NumberingSize(frameTime sim.Duration) int {
 	if frameTime <= 0 {
 		return 0
 	}
-	return int(c.ResolvingPeriod()/frameTime) + 1
+	rp := c.ResolvingPeriod()
+	n := rp / frameTime
+	if rp%frameTime != 0 {
+		n++
+	}
+	return int(n) + 1
 }

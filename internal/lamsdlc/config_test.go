@@ -28,8 +28,28 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"min fraction 0", func(c *Config) { c.MinRateFraction = 0 }},
 		{"min fraction >1", func(c *Config) { c.MinRateFraction = 2 }},
 		{"stopgo inverted", func(c *Config) { c.StopGoHigh, c.StopGoLow = 0.2, 0.8 }},
+		{"stopgo high 0", func(c *Config) { c.StopGoHigh = 0 }},
+		{"stopgo high negative", func(c *Config) { c.StopGoHigh = -0.5 }},
+		{"stopgo high >1", func(c *Config) { c.StopGoHigh = 1.5 }},
+		{"stopgo low 0", func(c *Config) { c.StopGoLow = 0 }},
+		{"stopgo low negative", func(c *Config) { c.StopGoLow = -0.1 }},
+		{"stopgo low >1", func(c *Config) { c.StopGoHigh, c.StopGoLow = 1, 1.01 }},
 		{"negative retries", func(c *Config) { c.RequestRetries = -1 }},
 		{"negative rtt", func(c *Config) { c.RoundTrip = -1 }},
+		// C_depth·W_cp products that saturate sim.Scale: the failure and
+		// resolving windows degenerate, silently disabling §3.2's failure
+		// declaration.
+		{"checkpoint timeout saturates", func(c *Config) {
+			c.CheckpointInterval = sim.Duration(1 << 62)
+			c.CumulationDepth = 4
+		}},
+		{"failure timeout wraps negative", func(c *Config) {
+			// CheckpointTimeout lands just under the horizon without
+			// saturating; adding the round trip overflows int64.
+			c.CheckpointInterval = sim.Duration(1<<62 - 1)
+			c.CumulationDepth = 2
+			c.RoundTrip = sim.Second
+		}},
 	}
 	for _, m := range mutations {
 		c := base
@@ -64,11 +84,45 @@ func TestNumberingSize(t *testing.T) {
 	c.CheckpointInterval = 10 * sim.Millisecond
 	c.CumulationDepth = 3
 	// Resolving period 55ms; at t_f = 100µs the numbering size must cover
-	// 550 outstanding frames.
+	// 550 outstanding frames (exact division: ceiling changes nothing).
 	if got := c.NumberingSize(100 * sim.Microsecond); got != 551 {
 		t.Fatalf("NumberingSize = %d, want 551", got)
 	}
 	if c.NumberingSize(0) != 0 {
 		t.Fatal("zero frame time should yield 0")
+	}
+	if c.NumberingSize(-sim.Millisecond) != 0 {
+		t.Fatal("negative frame time should yield 0")
+	}
+}
+
+// TestNumberingSizeNonDividing pins the ceiling at frame times that do not
+// divide the resolving period: truncating 55ms/150µs to 366 undercounted
+// the window by one — a frame started at 54.9ms into the period still
+// occupies a number.
+func TestNumberingSizeNonDividing(t *testing.T) {
+	c := Defaults(20 * sim.Millisecond)
+	c.CheckpointInterval = 10 * sim.Millisecond
+	c.CumulationDepth = 3 // resolving period 55ms
+	cases := []struct {
+		frameTime sim.Duration
+		want      int
+	}{
+		// 55ms / 150µs = 366.67 → ceil 367 (+1) = 368; truncation gave 367.
+		{150 * sim.Microsecond, 368},
+		// 55ms / 7ms = 7.857 → ceil 8 (+1) = 9; truncation gave 8.
+		{7 * sim.Millisecond, 9},
+		// One nanosecond under the period: ceil 2 (+1) = 3.
+		{55*sim.Millisecond - 1, 3},
+		// Exactly the period: 1 (+1) = 2.
+		{55 * sim.Millisecond, 2},
+		// Frame time beyond the resolving period: one outstanding frame
+		// plus the leading-edge slot.
+		{sim.Second, 2},
+	}
+	for _, tc := range cases {
+		if got := c.NumberingSize(tc.frameTime); got != tc.want {
+			t.Errorf("NumberingSize(%v) = %d, want %d", tc.frameTime, got, tc.want)
+		}
 	}
 }

@@ -45,6 +45,7 @@ type Receiver struct {
 	lastPrune sim.Time
 
 	deliver arq.DeliverFunc
+	probe   *Probe
 }
 
 // NewReceiver constructs a receiver delivering upward via deliver (which
@@ -85,6 +86,18 @@ func (r *Receiver) Start() {
 
 // Stop halts the checkpoint process (link teardown).
 func (r *Receiver) Stop() { r.ticker.Stop() }
+
+// SetCheckpointPeriod re-times the running checkpoint ticker. The fault
+// injector uses it to open and close clock-skew windows: a skewed receiver
+// emits checkpoints faster or slower than the sender's timers assume, which
+// is exactly the drift §3.2's silence windows must absorb. Takes effect from
+// the next emission; panics on non-positive periods like the Ticker does.
+func (r *Receiver) SetCheckpointPeriod(d sim.Duration) {
+	if d <= 0 {
+		panic("lamsdlc: non-positive checkpoint period")
+	}
+	r.ticker.SetPeriod(d)
+}
 
 // Expected exposes the next expected sequence number (tests).
 func (r *Receiver) Expected() uint32 { return r.expected }
@@ -141,6 +154,9 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 		r.im.dropped.Inc()
 		if !r.stopGo {
 			r.im.stopGoFlips.Inc()
+			if r.probe != nil && r.probe.StopGoChanged != nil {
+				r.probe.StopGoChanged(now, true)
+			}
 		}
 		r.stopGo = true
 		return
@@ -201,11 +217,17 @@ func (r *Receiver) updateStopGo() {
 	if occ >= r.cfg.StopGoHigh {
 		if !r.stopGo {
 			r.im.stopGoFlips.Inc()
+			if r.probe != nil && r.probe.StopGoChanged != nil {
+				r.probe.StopGoChanged(r.sched.Now(), true)
+			}
 		}
 		r.stopGo = true
 	} else if occ <= r.cfg.StopGoLow {
 		if r.stopGo {
 			r.im.stopGoFlips.Inc()
+			if r.probe != nil && r.probe.StopGoChanged != nil {
+				r.probe.StopGoChanged(r.sched.Now(), false)
+			}
 		}
 		r.stopGo = false
 	}
@@ -240,6 +262,9 @@ func (r *Receiver) handleRequestNAK(_ sim.Time, req *frame.Frame) {
 func (r *Receiver) send(enforced bool) {
 	naks := r.cumulativeNAKs()
 	cp := frame.NewCheckpoint(r.serial, r.expected, naks, r.stopGo, enforced)
+	if r.probe != nil && r.probe.CheckpointSent != nil {
+		r.probe.CheckpointSent(r.sched.Now(), r.serial, enforced)
+	}
 	r.wire.Send(cp)
 	r.m.ControlSent.Inc()
 	r.im.naksReported.Add(uint64(len(naks)))
@@ -249,6 +274,9 @@ func (r *Receiver) sendEnforced(reqSerial uint32) {
 	naks := r.cumulativeNAKs()
 	cp := frame.NewCheckpoint(r.serial, r.expected, naks, r.stopGo, true)
 	cp.Seq = reqSerial // echo for correlation
+	if r.probe != nil && r.probe.CheckpointSent != nil {
+		r.probe.CheckpointSent(r.sched.Now(), r.serial, true)
+	}
 	r.wire.Send(cp)
 	r.m.ControlSent.Inc()
 	r.im.naksReported.Add(uint64(len(naks)))

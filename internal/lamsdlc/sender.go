@@ -55,6 +55,7 @@ type Sender struct {
 	reqSentAt    sim.Time
 	maxLiveSpan  uint32 // widest nextSeq − oldestUnacked observed
 
+	probe     *Probe
 	onFailure arq.FailureFunc
 }
 
@@ -190,6 +191,9 @@ func (s *Sender) pump() {
 	s.wire.Send(f)
 	s.m.FirstTx.Inc()
 	s.im.firstTx.Inc()
+	if s.probe != nil && s.probe.FirstTransmission != nil {
+		s.probe.FirstTransmission(now, e.seq, e.dg.ID)
+	}
 	s.noteSpan()
 	s.noteOccupancy()
 
@@ -226,6 +230,9 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 	s.cpTimer.Start(s.cfg.CheckpointTimerTimeout())
 	s.im.cpHeard.Inc()
 	s.im.naksHeard.Add(uint64(len(f.NAKs)))
+	if s.probe != nil && s.probe.CheckpointHeard != nil {
+		s.probe.CheckpointHeard(now, f.Serial, f.Enforced)
+	}
 
 	// Coverage tracking: each error is reported in C_depth consecutive
 	// checkpoints. If the serial jumped by more than C_depth, at least one
@@ -248,24 +255,49 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 	// Flow control (§3.4): every checkpoint adjusts the rate.
 	s.applyStopGo(f.StopGo)
 
-	if f.Enforced && s.recovering {
-		// Enforced-NAK / Resolving command answers our Request-NAK.
-		s.failTimer.Stop()
-		s.recovering = false
-		s.retriesLeft = s.cfg.RequestRetries
+	if f.Enforced {
 		s.im.enforcedHeard.Inc()
+	}
+	if s.recovering {
+		if f.Enforced {
+			// Enforced-NAK / Resolving command answers our Request-NAK and
+			// ends Enforced Recovery. The C_depth·W_cp silence window
+			// restarts from this response (the unconditional cpTimer.Start
+			// above), not from the original Request-NAK.
+			s.failTimer.Stop()
+			s.recovering = false
+			s.retriesLeft = s.cfg.RequestRetries
+			if s.probe != nil && s.probe.RecoveryEnded != nil {
+				s.probe.RecoveryEnded(now, true)
+			}
+		} else if now.Sub(s.reqSentAt) >= s.cfg.ExpectedResponse() {
+			// A plain checkpoint during recovery, arriving after the
+			// outstanding solicitation's response is already overdue,
+			// proves the receiver alive and the Request-NAK (or its
+			// Enforced-NAK) lost. Solicit again immediately — §3.2 keeps
+			// new I-frames suspended until the enforced response, so
+			// waiting out the rest of the failure timer before re-asking
+			// stalled a demonstrably live link for up to a FailureTimeout
+			// after a checkpoint blackout ended. Re-arming from here also
+			// restarts the failure timer, so the silence window is always
+			// measured from the latest solicitation. Bounded to one
+			// solicitation per heard checkpoint (W_cp apart) and gated on
+			// the overdue response, this cannot storm. The retry budget is
+			// not consumed: it guards against a genuinely silent peer.
+			s.sendRequestNAK()
+		}
 	}
 
 	// Walk the ordered buffer once, deciding each entry's fate.
 	resolving := s.cfg.ResolvingPeriod()
 	var keep []*entry
-	var retransmit []*entry
+	var retransmit []retxDecision
 	for _, e := range s.ordered {
 		switch {
 		case naked[e.seq]:
 			// First notification for this incarnation: retransmit under
 			// a new number. (Stale NAKs name retired seqs and miss.)
-			retransmit = append(retransmit, e)
+			retransmit = append(retransmit, retxDecision{e, RetxNAK})
 			s.im.retxNAK.Inc()
 		case e.seq < f.Ack && covered:
 			// Covered positive acknowledgement: release buffer space.
@@ -275,7 +307,7 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 			// retransmit rather than risk loss (duplicates are resolved
 			// downstream). Frames still in flight are left alone.
 			if now.Sub(e.lastTx) >= s.cfg.RoundTrip {
-				retransmit = append(retransmit, e)
+				retransmit = append(retransmit, retxDecision{e, RetxCoverage})
 				s.im.retxCoverage.Inc()
 			} else {
 				keep = append(keep, e)
@@ -283,21 +315,21 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 		case f.Enforced && now.Sub(e.lastTx) >= s.cfg.RoundTrip:
 			// Enforced recovery: the receiver has never seen this frame
 			// although it has had a full round trip to arrive — resend.
-			retransmit = append(retransmit, e)
+			retransmit = append(retransmit, retxDecision{e, RetxEnforced})
 			s.im.retxEnforced.Inc()
 		case now.Sub(e.lastTx) >= resolving:
 			// Resolving-period timeout (§3.3): an unreported frame this
 			// old can only be a corrupted trailing frame with no
 			// successor to reveal the gap.
-			retransmit = append(retransmit, e)
+			retransmit = append(retransmit, retxDecision{e, RetxResolving})
 			s.im.retxResolving.Inc()
 		default:
 			keep = append(keep, e)
 		}
 	}
 	s.ordered = keep
-	for _, e := range retransmit {
-		s.retransmit(now, e)
+	for _, d := range retransmit {
+		s.retransmit(now, d.e, d.cause)
 	}
 	if len(s.ordered) > 0 {
 		s.im.liveSpan.Observe(float64(s.nextSeq - s.ordered[0].seq))
@@ -307,9 +339,17 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 	s.schedulePump(0)
 }
 
+// retxDecision pairs a buffer entry with the reason the checkpoint walk
+// chose to retransmit it.
+type retxDecision struct {
+	e     *entry
+	cause RetxCause
+}
+
 // retransmit re-sends e under a fresh sequence number and re-appends it to
 // the ordered buffer (new seq = highest, so order is preserved).
-func (s *Sender) retransmit(now sim.Time, e *entry) {
+func (s *Sender) retransmit(now sim.Time, e *entry, cause RetxCause) {
+	old := e.seq
 	delete(s.bySeq, e.seq)
 	e.seq = s.nextSeq
 	s.nextSeq++
@@ -322,12 +362,27 @@ func (s *Sender) retransmit(now sim.Time, e *entry) {
 	s.wire.Send(f)
 	s.m.Retransmissions.Inc()
 	s.im.retx.Inc()
+	if s.probe != nil && s.probe.Retransmitted != nil {
+		s.probe.Retransmitted(now, old, e.seq, e.dg.ID, cause)
+	}
 	// Retransmissions jump the pacing queue (§4: they mix freely with
 	// transmissions) but still consume send-rate budget; without this,
 	// under overload, unpaced retransmissions inflate the wire backlog
 	// past the resolving period and false resolving timeouts feed a
 	// retransmission storm.
 	s.wireFreeAt = sim.MaxTime(now, s.wireFreeAt).Add(s.wire.TxTime(f))
+	// But the budget debt must stay bounded: during a one-directional
+	// outage (I-frames vanishing while checkpoints keep flowing) every
+	// outstanding frame is retransmitted once per resolving period into
+	// the dead beam, and unbounded accumulation here left wireFreeAt
+	// minutes ahead of the clock — a re-established link stayed halted
+	// for new I-frames long after traffic could flow again. One resolving
+	// period of debt preserves the anti-storm back-pressure (retransmission
+	// volume per checkpoint refills it faster than it drains under real
+	// overload) while capping the post-restoration stall.
+	if limit := now.Add(s.cfg.ResolvingPeriod()); s.wireFreeAt > limit {
+		s.wireFreeAt = limit
+	}
 }
 
 // release frees the buffer slot and records the holding time.
@@ -336,6 +391,9 @@ func (s *Sender) release(now sim.Time, e *entry) {
 	s.m.HoldingTime.Add(float64(now.Sub(e.holdStart)))
 	s.im.releases.Inc()
 	s.im.holdingNS.Observe(float64(now.Sub(e.holdStart)))
+	if s.probe != nil && s.probe.Released != nil {
+		s.probe.Released(now, e.seq, e.dg.ID)
+	}
 }
 
 func (s *Sender) applyStopGo(stop bool) {
@@ -373,12 +431,18 @@ func (s *Sender) onCheckpointTimeout() {
 
 func (s *Sender) startEnforcedRecovery() {
 	s.recovering = true
+	if s.probe != nil && s.probe.RecoveryStarted != nil {
+		s.probe.RecoveryStarted(s.sched.Now())
+	}
 	s.sendRequestNAK()
 }
 
 func (s *Sender) sendRequestNAK() {
 	s.reqSerial++
 	s.reqSentAt = s.sched.Now()
+	if s.probe != nil && s.probe.RequestNAKSent != nil {
+		s.probe.RequestNAKSent(s.reqSentAt, s.reqSerial)
+	}
 	s.wire.Send(frame.NewRequestNAK(s.reqSerial))
 	s.m.ControlSent.Inc()
 	s.m.Recoveries.Inc()
@@ -428,6 +492,9 @@ func (s *Sender) declareFailure(reason string) {
 	s.pumpArmed = false
 	s.m.Failures.Inc()
 	s.im.failures.Inc()
+	if s.probe != nil && s.probe.FailureDeclared != nil {
+		s.probe.FailureDeclared(s.sched.Now(), reason)
+	}
 	if s.onFailure != nil {
 		s.onFailure(s.sched.Now(), reason)
 	}
