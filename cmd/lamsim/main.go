@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"repro/internal/arq"
 	"repro/internal/bench"
 	"repro/internal/channel"
 	"repro/internal/faults"
@@ -51,7 +53,7 @@ func chainTaps(taps ...channel.Tap) channel.Tap {
 
 func main() {
 	var (
-		proto   = flag.String("proto", "lams", "protocol: lams | srhdlc | gbn")
+		proto   = flag.String("proto", "lams", "protocol: "+strings.Join(arq.Protocols(), " | "))
 		n       = flag.Int("n", 2000, "datagrams to transfer")
 		payload = flag.Int("payload", 1024, "payload bytes per datagram")
 		rate    = flag.Float64("rate", 300e6, "link rate, bits/s")
@@ -71,7 +73,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "stream the full link-event trace to this file as JSONL")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address; the process stays up after the run until interrupted")
 		faultSpec   = flag.String("faults", "", `fault schedule, e.g. "outage@2s+100ms; storm@4s+200ms:period=2ms,naks=4" (see internal/faults)`)
-		invariants  = flag.Bool("invariants", false, "attach the §3.2 invariant checker (lams only); violations print and fail the run")
+		invariants  = flag.Bool("invariants", false, "attach the §3.2 invariant checker (its applicable subset for non-checkpointing protocols); violations print and fail the run")
 	)
 	flag.Parse()
 
@@ -88,17 +90,12 @@ func main() {
 		Seed:         *seed,
 		Horizon:      *horizon,
 	}
-	switch *proto {
-	case "lams":
-		c.Protocol = bench.LAMS
-	case "srhdlc":
-		c.Protocol = bench.SRHDLC
-	case "gbn":
-		c.Protocol = bench.GBNHDLC
-	default:
-		fmt.Fprintf(os.Stderr, "lamsim: unknown protocol %q\n", *proto)
+	reg, err := arq.ParseProtocol(*proto)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamsim: %v\n", err)
 		os.Exit(2)
 	}
+	c.Protocol = bench.Protocol(reg.Name)
 
 	if *faultSpec != "" {
 		spec, err := faults.ParseSpec(*faultSpec)
@@ -109,10 +106,6 @@ func main() {
 		c.Faults = spec
 	}
 	if *invariants {
-		if c.Protocol != bench.LAMS {
-			fmt.Fprintln(os.Stderr, "lamsim: -invariants applies to -proto lams only")
-			os.Exit(2)
-		}
 		c.CheckInvariants = true
 	}
 

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E17)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E18)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	figures := flag.Bool("figures", false, "render each experiment's series as terminal charts")
 	withMetrics := flag.Bool("metrics", false,
@@ -102,5 +102,6 @@ func describe() [][2]string {
 		{"E15", "cost of the in-sequence constraint (GBN vs SR vs LAMS)"},
 		{"E16", "delay vs throughput trade-off under rising load"},
 		{"E17", "checkpoint interval W_cp ablation"},
+		{"E18", "multi-hop relay over every registered engine"},
 	}
 }

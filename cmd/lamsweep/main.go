@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/arq"
 	"repro/internal/bench"
 	"repro/internal/channel"
 	"repro/internal/fec"
@@ -28,7 +29,7 @@ func main() {
 	var (
 		param   = flag.String("param", "ber", "swept parameter: ber | pf | km | n | icp | cdepth | w | alpha | payload")
 		values  = flag.String("values", "1e-6,1e-5,1e-4", "comma-separated sweep values")
-		protos  = flag.String("protos", "lams,srhdlc", "protocols: lams, srhdlc, gbn (comma-separated)")
+		protos  = flag.String("protos", "lams,srhdlc", "comma-separated protocols: "+strings.Join(arq.Protocols(), ", "))
 		n       = flag.Int("n", 2000, "datagrams per run")
 		payload = flag.Int("payload", 1024, "payload bytes")
 		rate    = flag.Float64("rate", 300e6, "link rate, bits/s")
@@ -66,16 +67,11 @@ func main() {
 
 	var protoList []bench.Protocol
 	for _, p := range strings.Split(*protos, ",") {
-		switch strings.TrimSpace(p) {
-		case "lams":
-			protoList = append(protoList, bench.LAMS)
-		case "srhdlc":
-			protoList = append(protoList, bench.SRHDLC)
-		case "gbn":
-			protoList = append(protoList, bench.GBNHDLC)
-		default:
-			fatal("unknown protocol %q", p)
+		reg, err := arq.ParseProtocol(p)
+		if err != nil {
+			fatal("%v", err)
 		}
+		protoList = append(protoList, bench.Protocol(reg.Name))
 	}
 
 	// Every (value, protocol) point is an independent run: build the whole

@@ -26,7 +26,7 @@ func Example() {
 	simu.RunFor(time.Second)
 
 	fmt.Printf("delivered %d/100, retransmissions %d\n",
-		delivered, pair.Metrics.Retransmissions.Value())
+		delivered, pair.Metrics().Retransmissions.Value())
 	// Output:
 	// delivered 100/100, retransmissions 0
 }

@@ -78,7 +78,7 @@ func main() {
 	}
 	for t := time.Duration(0); t < horizon; t += 10 * time.Second {
 		simu.RunFor(10 * time.Second)
-		m := pair.Metrics
+		m := pair.Metrics()
 		fmt.Printf("t=%-5v delivered=%-7d retx=%-5d enforced-recoveries=%d holding(mean)=%v\n",
 			t+10*time.Second, delivered, m.Retransmissions.Value(),
 			m.Failures.Value(), m.MeanHoldingTime().Round(time.Millisecond))
@@ -86,7 +86,7 @@ func main() {
 	gen.Stop()
 	simu.RunFor(5 * time.Second) // drain
 
-	m := pair.Metrics
+	m := pair.Metrics()
 	fmt.Printf("\nfirst %v of a %v pass: %d datagrams (%.1f MB)\n",
 		horizon, lifetime.Round(time.Second), delivered, float64(bytes)/1e6)
 	fmt.Printf("goodput %.1f Mbit/s of %s (efficiency %.3f)\n",

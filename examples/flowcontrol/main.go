@@ -37,7 +37,7 @@ func main() {
 	fmt.Println("t        delivered  rate   stop-go  recvQ  dropped  retx")
 	for step := 0; step < 20; step++ {
 		simu.RunFor(50 * time.Millisecond)
-		m := pair.Metrics
+		m := pair.Metrics()
 		fmt.Printf("%-8v %-10d %-6.3f %-8v %-6d %-8d %d\n",
 			simu.Now(), delivered, pair.Sender.RateFraction(),
 			pair.Receiver.StopGoAsserted(), pair.Receiver.QueueLen(),
@@ -46,7 +46,7 @@ func main() {
 	gen.Stop()
 	simu.RunFor(5 * time.Second)
 
-	m := pair.Metrics
+	m := pair.Metrics()
 	fmt.Printf("\nsubmitted=%d delivered=%d — every accepted datagram arrived (zero loss)\n",
 		m.Submitted.Value(), delivered)
 	fmt.Printf("flow control: %d rate adjustments; receiver discarded %d overflowing frames,\n",

@@ -53,7 +53,7 @@ func main() {
 			delivered: delivered,
 			elapsed:   time.Duration(last),
 			eff:       float64(delivered*payload*8) / (link.RateBps * time.Duration(last).Seconds()),
-			retx:      pair.Metrics.Retransmissions.Value(),
+			retx:      pair.Metrics().Retransmissions.Value(),
 		})
 	}
 
@@ -66,7 +66,7 @@ func main() {
 		pair := simu.NewHDLCPair(l, lams.HDLCDefaultsFor(link), func(now lams.Time, dg lams.Datagram, _ uint32) {
 			delivered++
 			last = now
-		})
+		}, nil)
 		for i := 0; i < n; i++ {
 			pair.Sender.Enqueue(lams.Datagram{ID: uint64(i), Payload: make([]byte, payload)})
 		}
@@ -76,7 +76,7 @@ func main() {
 			delivered: delivered,
 			elapsed:   time.Duration(last),
 			eff:       float64(delivered*payload*8) / (link.RateBps * time.Duration(last).Seconds()),
-			retx:      pair.Metrics.Retransmissions.Value(),
+			retx:      pair.Metrics().Retransmissions.Value(),
 		})
 	}
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/arq"
 	"repro/internal/channel"
 	"repro/internal/lamsdlc"
 	"repro/internal/node"
@@ -30,7 +31,7 @@ func main() {
 		CModel:  channel.FixedProb{P: 0.02},
 	}
 
-	nodes, _ := node.Line(sched, 4, cfg, pipe, rng)
+	nodes, _ := node.Line(sched, 4, arq.MustEngine("lams", cfg), pipe, rng)
 	src, dst := nodes[0], nodes[3]
 
 	var inOrder, outOfOrder int

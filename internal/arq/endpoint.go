@@ -1,0 +1,115 @@
+package arq
+
+import (
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Endpoint is one half of an ARQ engine: a sans-IO state machine driven by
+// the scheduler's virtual clock and by frames the wiring feeds it. Both
+// LAMS-DLC and the HDLC baselines implement it for their senders and
+// receivers, which is what lets the simulation and live drivers route
+// frames without naming a protocol.
+type Endpoint interface {
+	// Start activates the endpoint's periodic processes (checkpoint
+	// emission, timers). Idempotent where the protocol needs it to be.
+	Start()
+	// HandleFrame processes one arriving frame.
+	HandleFrame(now sim.Time, f *frame.Frame)
+}
+
+// Pair is the engine contract every layer above the protocols programs
+// against: a wired sender/receiver pair running one ARQ engine over one
+// full-duplex link. lamsdlc.Pair and hdlc.Pair implement it; the node,
+// session, bench, and faults layers consume it, so any registered engine
+// runs in any topology or harness.
+//
+// Datagram ownership: a datagram handed to Enqueue belongs to the engine
+// until it is either delivered (the deliver callback fires at the far end)
+// or handed back by Reclaim. Stop is an orderly teardown — timers stop, no
+// failure is declared, and the undelivered datagrams stay reclaimable.
+// Reclaim returns every datagram the engine still holds (never positively
+// acknowledged), oldest first; after a declared failure or a Stop the
+// caller re-routes or carries them over. Reclaim does not mutate delivery
+// state, but a reclaimed datagram may still arrive at the receiver (its
+// last transmission may be in flight), so exactly-once is the resequencer's
+// job, not the engine's.
+type Pair interface {
+	// Start activates both ends.
+	Start()
+	// Stop is orderly teardown: the link is going away (end of pass), not
+	// failing. Timers stop, new work is refused, no failure callback fires.
+	Stop()
+	// Enqueue accepts a datagram from the network layer. False means the
+	// engine refused it (buffer at capacity, or the engine failed/stopped).
+	Enqueue(dg Datagram) bool
+	// Reclaim returns the datagrams the engine still holds (queued or
+	// unacknowledged), oldest first.
+	Reclaim() []Datagram
+	// Outstanding returns the sending-buffer occupancy: unacknowledged
+	// frames plus queued datagrams.
+	Outstanding() int
+	// Failed reports whether the engine declared the link failed (or was
+	// stopped).
+	Failed() bool
+	// Metrics exposes the pair's shared measurement block.
+	Metrics() *Metrics
+	// Link exposes the underlying simulated link (tests inject failures,
+	// the session layer fails it at pass end).
+	Link() *channel.Link
+	// SetProbe installs the transition observer on both ends; nil
+	// detaches. Install before Start. Engines fire the callbacks that
+	// exist in their state machine and skip the rest, which is how the
+	// invariant checker's applicable subset follows the protocol.
+	SetProbe(p *Probe)
+}
+
+// Optional capability interfaces, discovered by type assertion on a Pair.
+// They keep the core contract small: a consumer that needs a
+// protocol-specific surface asserts for it and degrades gracefully when the
+// engine lacks it.
+
+// SpanReporter reports the widest span of simultaneously live sequence
+// numbers observed — meaningful for engines that renumber retransmissions
+// (the §2.3 numbering-size bound).
+type SpanReporter interface {
+	MaxLiveSpan() uint32
+}
+
+// RateReporter reports the current flow-control send-rate fraction
+// (engines with Stop-Go rate control).
+type RateReporter interface {
+	RateFraction() float64
+}
+
+// CheckpointRetimer re-times a periodic checkpoint process; the fault
+// injector uses it to open clock-skew windows. Engines without a periodic
+// receiver process simply don't implement it and skew events are skipped.
+type CheckpointRetimer interface {
+	SetCheckpointPeriod(d sim.Duration)
+}
+
+// RecoveryWindows bundles the timing bounds the §3.2 invariant checker
+// asserts. Engines without an enforced-recovery procedure leave it zero:
+// the recovery rules then never fire because the probe callbacks they
+// watch are never invoked.
+type RecoveryWindows struct {
+	// CheckpointTimer is the minimum checkpoint silence before recovery
+	// entry (C_depth·W_cp plus phase grace for LAMS-DLC).
+	CheckpointTimer sim.Duration
+	// FailureTimeout is the minimum response silence after a solicitation
+	// before failure may be declared.
+	FailureTimeout sim.Duration
+	// ResolvingPeriod bounds how long a live sequence-number incarnation
+	// may go unresolved while acknowledgements keep flowing.
+	ResolvingPeriod sim.Duration
+	// RoundTrip is R, the floor under the resolving bound.
+	RoundTrip sim.Duration
+}
+
+// WindowsProvider exposes an engine configuration's recovery windows to
+// the invariant checker. Implemented by lamsdlc.Config.
+type WindowsProvider interface {
+	RecoveryWindows() RecoveryWindows
+}

@@ -1,0 +1,171 @@
+package arq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// EngineConfig is the protocol-specific configuration a registered engine
+// consumes. Concrete types are lamsdlc.Config and hdlc.Config; the
+// interface carries only what protocol-agnostic layers need: validation and
+// the link-lifetime hint the session layer sets per pass.
+type EngineConfig interface {
+	// Validate reports the first configuration error.
+	Validate() error
+	// WithLinkLifetime returns a copy of the configuration with the
+	// remaining link lifetime set. Engines without lifetime-aware behavior
+	// return the configuration unchanged.
+	WithLinkLifetime(d sim.Duration) EngineConfig
+}
+
+// NewPairFunc builds a wired endpoint pair over link. cfg must be the
+// registration's concrete configuration type (its Defaults return);
+// deliver and onFailure may be nil.
+type NewPairFunc func(sched *sim.Scheduler, link *channel.Link, cfg EngineConfig, deliver DeliverFunc, onFailure FailureFunc) Pair
+
+// Registration describes one ARQ engine in the protocol registry.
+type Registration struct {
+	// Name is the canonical flag value ("lams", "srhdlc", "gbn").
+	Name string
+	// Aliases are additional accepted spellings.
+	Aliases []string
+	// Display is the human label used in tables and CSV ("LAMS-DLC").
+	Display string
+	// Defaults returns the engine's default configuration for a round trip.
+	Defaults func(roundTrip sim.Duration) EngineConfig
+	// New builds a wired pair.
+	New NewPairFunc
+}
+
+var (
+	registry = make(map[string]Registration) // canonical + alias keys
+	names    []string                        // canonical names, sorted
+)
+
+// Register adds an engine to the registry. Engines call it from init()
+// (blank-import repro/internal/engines to link every implementation in).
+// Duplicate names panic: the registry is wiring, not configuration.
+func Register(r Registration) {
+	if r.Name == "" || r.New == nil || r.Defaults == nil {
+		panic("arq: incomplete engine registration")
+	}
+	for _, key := range append([]string{r.Name}, r.Aliases...) {
+		key = strings.ToLower(key)
+		if _, dup := registry[key]; dup {
+			panic(fmt.Sprintf("arq: duplicate engine registration %q", key))
+		}
+		registry[key] = r
+	}
+	names = append(names, r.Name)
+	sort.Strings(names)
+}
+
+// Protocols returns the registered canonical engine names, sorted.
+func Protocols() []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	return out
+}
+
+// ParseProtocol resolves a protocol name (canonical or alias, case
+// insensitive) to its registration. Unknown names error, listing what is
+// registered — no silent default.
+func ParseProtocol(name string) (Registration, error) {
+	r, ok := registry[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Registration{}, fmt.Errorf("arq: unknown protocol %q (registered: %s)",
+			name, strings.Join(Protocols(), ", "))
+	}
+	return r, nil
+}
+
+// New builds a wired pair for the named engine. cfg is required; use
+// Registration.Defaults (or DefaultEngine) to build one.
+func New(name string, sched *sim.Scheduler, link *channel.Link, cfg EngineConfig, deliver DeliverFunc, onFailure FailureFunc) (Pair, error) {
+	r, err := ParseProtocol(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.New(sched, link, cfg, deliver, onFailure), nil
+}
+
+// Engine binds a registered protocol to a concrete configuration: the
+// value the node and session layers carry instead of a lamsdlc.Config.
+// The zero Engine is invalid; build one with NewEngine or MustEngine.
+type Engine struct {
+	reg Registration
+	cfg EngineConfig
+}
+
+// NewEngine resolves name and validates cfg.
+func NewEngine(name string, cfg EngineConfig) (Engine, error) {
+	r, err := ParseProtocol(name)
+	if err != nil {
+		return Engine{}, err
+	}
+	if cfg == nil {
+		return Engine{}, fmt.Errorf("arq: nil configuration for engine %q", name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Engine{}, err
+	}
+	return Engine{reg: r, cfg: cfg}, nil
+}
+
+// MustEngine is NewEngine, panicking on error (wiring-time misuse).
+func MustEngine(name string, cfg EngineConfig) Engine {
+	e, err := NewEngine(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// DefaultEngine returns the named engine with its default configuration
+// for the given round trip.
+func DefaultEngine(name string, roundTrip sim.Duration) (Engine, error) {
+	r, err := ParseProtocol(name)
+	if err != nil {
+		return Engine{}, err
+	}
+	return Engine{reg: r, cfg: r.Defaults(roundTrip)}, nil
+}
+
+// Name returns the canonical engine name; empty for the zero Engine.
+func (e Engine) Name() string { return e.reg.Name }
+
+// Display returns the human label for tables.
+func (e Engine) Display() string { return e.reg.Display }
+
+// Config returns the bound configuration.
+func (e Engine) Config() EngineConfig { return e.cfg }
+
+// Validate reports whether the engine is usable.
+func (e Engine) Validate() error {
+	if e.reg.Name == "" {
+		return fmt.Errorf("arq: zero Engine (build with NewEngine)")
+	}
+	if e.cfg == nil {
+		return fmt.Errorf("arq: engine %q has no configuration", e.reg.Name)
+	}
+	return e.cfg.Validate()
+}
+
+// WithLinkLifetime returns the engine with the configuration's remaining
+// link lifetime set (no-op for engines without lifetime awareness).
+func (e Engine) WithLinkLifetime(d sim.Duration) Engine {
+	e.cfg = e.cfg.WithLinkLifetime(d)
+	return e
+}
+
+// NewPair builds a wired pair over link with this engine's configuration.
+func (e Engine) NewPair(sched *sim.Scheduler, link *channel.Link, deliver DeliverFunc, onFailure FailureFunc) Pair {
+	if e.reg.New == nil {
+		panic("arq: NewPair on zero Engine")
+	}
+	return e.reg.New(sched, link, e.cfg, deliver, onFailure)
+}

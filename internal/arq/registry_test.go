@@ -1,0 +1,70 @@
+package arq_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arq"
+	"repro/internal/sim"
+
+	_ "repro/internal/engines" // link every registered engine in
+)
+
+func TestRegistryHoldsEveryEngine(t *testing.T) {
+	got := strings.Join(arq.Protocols(), ",")
+	for _, name := range []string{"gbn", "lams", "srhdlc"} {
+		if !strings.Contains(got, name) {
+			t.Fatalf("Protocols() = %s, missing %q", got, name)
+		}
+	}
+}
+
+func TestParseProtocolAliasesAndCase(t *testing.T) {
+	for spelling, want := range map[string]string{
+		"lams": "lams", "LAMS": "lams",
+		"sr": "srhdlc", "sr-hdlc": "srhdlc", "hdlc": "srhdlc",
+		"gbn": "gbn", "GBN-HDLC": "gbn", " srhdlc ": "srhdlc",
+	} {
+		reg, err := arq.ParseProtocol(spelling)
+		if err != nil {
+			t.Fatalf("ParseProtocol(%q): %v", spelling, err)
+		}
+		if reg.Name != want {
+			t.Fatalf("ParseProtocol(%q).Name = %q, want %q", spelling, reg.Name, want)
+		}
+	}
+}
+
+func TestParseProtocolUnknownListsRegistered(t *testing.T) {
+	_, err := arq.ParseProtocol("x25")
+	if err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	for _, name := range arq.Protocols() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered engine %q", err, name)
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := arq.NewEngine("lams", nil); err == nil {
+		t.Fatal("nil configuration accepted")
+	}
+	for _, name := range arq.Protocols() {
+		eng, err := arq.DefaultEngine(name, 13*sim.Millisecond)
+		if err != nil {
+			t.Fatalf("DefaultEngine(%q): %v", name, err)
+		}
+		if err := eng.Validate(); err != nil {
+			t.Fatalf("default %q engine invalid: %v", name, err)
+		}
+		if eng.Display() == "" {
+			t.Fatalf("%q has no display name", name)
+		}
+	}
+	var zero arq.Engine
+	if zero.Validate() == nil {
+		t.Fatal("zero Engine validated")
+	}
+}

@@ -42,7 +42,7 @@ func TestRunHDLCAndGBN(t *testing.T) {
 			t.Fatalf("%v s̄ = %v", proto, res.TransPerFrame)
 		}
 	}
-	if LAMS.String() == "" || SRHDLC.String() == "" || GBNHDLC.String() == "" || Protocol(9).String() == "" {
+	if LAMS.String() == "" || SRHDLC.String() == "" || GBNHDLC.String() == "" || Protocol("bogus").String() == "" {
 		t.Fatal("protocol names")
 	}
 }

@@ -97,6 +97,25 @@ func TestExperimentDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestMultiHopDeterministicAcrossWorkers extends the determinism pin to a
+// constellation run carried over the HDLC baselines: E18 relays through a
+// 3-node line under every registered engine, so its rendered table covers
+// multi-hop-over-HDLC as well as LAMS. Byte-identical output at 1 and 8
+// workers, like E2's pin.
+func TestMultiHopDeterministicAcrossWorkers(t *testing.T) {
+	var one, eight string
+	withWorkers(t, 1, func() { one = E18MultiHopRelay().Render() })
+	withWorkers(t, 8, func() { eight = E18MultiHopRelay().Render() })
+	if one != eight {
+		t.Fatalf("E18 output differs across worker counts:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s", one, eight)
+	}
+	for _, proto := range []string{"SR-HDLC", "GBN-HDLC", "LAMS-DLC"} {
+		if !strings.Contains(one, proto) {
+			t.Fatalf("E18 table is missing the %s row:\n%s", proto, one)
+		}
+	}
+}
+
 func TestSweepParallelDerivesSeeds(t *testing.T) {
 	// An error process makes the runs seed-sensitive; on a perfect channel
 	// every replicate is identical by design.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/lamsdlc"
 	"repro/internal/metrics"
+	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -929,6 +930,82 @@ func E17CheckpointIntervalAblation() *Result {
 	return r
 }
 
+// E18MultiHopRelay exercises the protocol-agnostic endpoint layer: every
+// registered engine carries the same store-and-forward traffic across a
+// 3-node relay line (src → transit → dst), and each must hand the
+// destination every packet exactly once, in order — the reliability
+// contract is per-protocol, but the network layer above it is one codebase.
+// The table doubles as the registry's conformance report: a newly
+// registered engine shows up (and is held to the contract) automatically.
+func E18MultiHopRelay() *Result {
+	r := &Result{
+		ID:    "E18",
+		Title: "multi-hop relay over every registered engine",
+		Table: stats.NewTable("", "protocol", "delivered", "dup", "misordered", "fwd", "elapsed"),
+	}
+	const n = 400
+	names := arq.Protocols()
+	type e18point struct {
+		display    string
+		delivered  int
+		misordered int
+		forwarded  uint64
+		dup        int
+		elapsed    sim.Duration
+	}
+	points := mapIndexed(len(names), func(pi int) e18point {
+		reg, err := arq.ParseProtocol(names[pi])
+		if err != nil {
+			panic(err)
+		}
+		sched := sim.NewScheduler()
+		roundTrip := 2 * 6670 * sim.Microsecond // ~2,000 km hops
+		eng := arq.MustEngine(reg.Name, reg.Defaults(roundTrip))
+		pipe := channel.PipeConfig{
+			RateBps: 300e6,
+			Delay:   channel.ConstantDelay(6670 * sim.Microsecond),
+			IModel:  channel.FixedProb{P: 0.05},
+			CModel:  channel.FixedProb{P: 0.01},
+		}
+		nodes, _ := node.Line(sched, 3, eng, pipe, sim.NewRNG(uint64(41+pi)))
+		src, dst := nodes[0], nodes[2]
+		pt := e18point{display: reg.Display}
+		seen := make(map[uint64]int, n)
+		var last sim.Time
+		dst.OnDeliver = func(now sim.Time, p node.Packet) {
+			seen[p.Seq]++
+			if p.Seq != uint64(pt.delivered) {
+				pt.misordered++
+			}
+			pt.delivered++
+			last = now
+		}
+		for i := 0; i < n; i++ {
+			src.Send(2, []byte{byte(i), byte(i >> 8)})
+		}
+		sched.RunFor(30 * sim.Second)
+		for _, k := range seen {
+			if k > 1 {
+				pt.dup += k - 1
+			}
+		}
+		pt.forwarded = nodes[1].Stats.Forwarded.Value()
+		pt.elapsed = sim.Duration(last)
+		return pt
+	})
+	okAll := true
+	for _, pt := range points {
+		r.Table.AddRow(pt.display, fmt.Sprint(pt.delivered), fmt.Sprint(pt.dup),
+			fmt.Sprint(pt.misordered), fmt.Sprint(pt.forwarded), fmtDur(pt.elapsed))
+		if pt.delivered != n || pt.dup != 0 || pt.misordered != 0 {
+			okAll = false
+		}
+	}
+	r.check("every engine relays exactly-once in order", okAll,
+		"%d/%d packets per protocol, zero duplicates, zero misordering across 2 hops", n, n)
+	return r
+}
+
 // All runs every experiment in order.
 func All() []*Result {
 	return []*Result{
@@ -949,6 +1026,7 @@ func All() []*Result {
 		E15InSequenceCost(),
 		E16DelayThroughput(),
 		E17CheckpointIntervalAblation(),
+		E18MultiHopRelay(),
 	}
 }
 
@@ -972,6 +1050,7 @@ func ByID(id string) func() *Result {
 		"E15": E15InSequenceCost,
 		"E16": E16DelayThroughput,
 		"E17": E17CheckpointIntervalAblation,
+		"E18": E18MultiHopRelay,
 	}
 	return m[id]
 }

@@ -26,27 +26,31 @@ import (
 	"repro/internal/workload"
 )
 
-// Protocol selects the DLC under test.
-type Protocol int
+// Protocol selects the DLC under test by its registry name (see
+// internal/arq: Register/ParseProtocol). The zero value means LAMS-DLC, for
+// compatibility with configs that never set the field.
+type Protocol string
 
-// Protocols.
+// The in-tree protocols, for convenience; any registered name works.
 const (
-	LAMS Protocol = iota
-	SRHDLC
-	GBNHDLC
+	LAMS    Protocol = "lams"
+	SRHDLC  Protocol = "srhdlc"
+	GBNHDLC Protocol = "gbn"
 )
 
-// String names the protocol.
+// String names the protocol by its registry display name ("LAMS-DLC",
+// "SR-HDLC", "GBN-HDLC"), keeping table and CSV output byte-stable with the
+// pre-registry harness.
 func (p Protocol) String() string {
-	switch p {
-	case LAMS:
-		return "LAMS-DLC"
-	case SRHDLC:
-		return "SR-HDLC"
-	case GBNHDLC:
-		return "GBN-HDLC"
+	name := string(p)
+	if name == "" {
+		name = string(LAMS)
 	}
-	return fmt.Sprintf("Protocol(%d)", int(p))
+	reg, err := arq.ParseProtocol(name)
+	if err != nil {
+		return fmt.Sprintf("Protocol(%q)", name)
+	}
+	return reg.Display
 }
 
 // RunConfig describes one protocol run.
@@ -92,8 +96,10 @@ type RunConfig struct {
 	// internal/faults for the schedule grammar. Purely schedule-driven:
 	// a faulted run stays bit-identical at any worker count.
 	Faults *faults.Spec
-	// CheckInvariants attaches the §3.2 invariant checker (LAMS runs
-	// only); breaches land in RunResult.Violations.
+	// CheckInvariants attaches the §3.2 invariant checker; breaches land
+	// in RunResult.Violations. Against a non-checkpointing engine the
+	// checker's applicable subset (no-loss, duplicates, completion) runs
+	// and the recovery rules stay dormant.
 	CheckInvariants bool
 
 	// Metrics, when non-nil, is the registry the run's scheduler, channel,
@@ -160,10 +166,23 @@ func (c RunConfig) hdlcConfig() hdlc.Config {
 	cfg.ProcTime = c.Tproc
 	cfg.Stutter = c.Stutter
 	cfg.Metrics = c.Metrics
-	if c.Protocol == GBNHDLC {
-		cfg.Mode = hdlc.GoBackN
-	}
 	return cfg
+}
+
+// engineConfig maps the harness knobs onto the named engine's configuration.
+// The registry's New forces the recovery mode for the HDLC names, so only
+// the config family matters here.
+func (c RunConfig) engineConfig(reg arq.Registration) arq.EngineConfig {
+	switch reg.Name {
+	case string(LAMS):
+		return c.lamsConfig()
+	case string(SRHDLC), string(GBNHDLC):
+		return c.hdlcConfig()
+	default:
+		// A protocol registered outside this package runs on its own
+		// defaults for the link's round trip.
+		return reg.Defaults(2 * c.OneWay)
+	}
 }
 
 func (c RunConfig) pipe() channel.PipeConfig {
@@ -217,50 +236,53 @@ func Run(c RunConfig) RunResult {
 		}
 	}
 
-	var m *arq.Metrics
-	var enqueue workload.Sink
-	var backlog func() int
-	var maxSpan func() uint32
+	protoName := string(c.Protocol)
+	if protoName == "" {
+		protoName = string(LAMS)
+	}
+	reg, err := arq.ParseProtocol(protoName)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	ecfg := c.engineConfig(reg)
+
 	var chk *faults.Checker
 	var finish func(*RunResult)
-	finalRate := func() float64 { return 1 }
+	if c.CheckInvariants {
+		// Engines without enforced recovery provide no RecoveryWindows; the
+		// zero value keeps the checker's recovery rules dormant.
+		var w arq.RecoveryWindows
+		if wp, ok := ecfg.(arq.WindowsProvider); ok {
+			w = wp.RecoveryWindows()
+		}
+		chk = faults.NewChecker(w)
+		deliver = chk.WrapDeliver(deliver)
+	}
 
-	switch c.Protocol {
-	case LAMS:
-		lamsCfg := c.lamsConfig()
-		if c.CheckInvariants {
-			chk = faults.NewChecker(lamsCfg)
-			deliver = chk.WrapDeliver(deliver)
+	pair := reg.New(sched, link, ecfg, deliver, nil)
+	if chk != nil {
+		pair.SetProbe(chk.Probe())
+		finish = func(res *RunResult) {
+			res.Violations = chk.Finish(pair.Reclaim())
 		}
-		pair := lamsdlc.NewPair(sched, link, lamsCfg, deliver, nil)
-		if chk != nil {
-			pair.Sender.SetProbe(chk.Probe())
-			pair.Receiver.SetProbe(chk.Probe())
-			finish = func(res *RunResult) {
-				res.Violations = chk.Finish(pair.Sender.UnreleasedDatagrams())
-			}
-		}
-		if inj != nil {
-			inj.AttachReceiver(pair.Receiver, lamsCfg.CheckpointInterval)
-		}
-		pair.Start()
-		m = pair.Metrics
-		enqueue = pair.Sender.Enqueue
-		if chk != nil {
-			enqueue = chk.WrapSink(enqueue)
-		}
-		backlog = pair.Sender.Outstanding
-		maxSpan = pair.Sender.MaxLiveSpan
-		finalRate = pair.Sender.RateFraction
-	case SRHDLC, GBNHDLC:
-		pair := hdlc.NewPair(sched, link, c.hdlcConfig(), deliver)
-		pair.Start()
-		m = pair.Metrics
-		enqueue = pair.Sender.Enqueue
-		backlog = pair.Sender.Outstanding
-		maxSpan = func() uint32 { return 0 }
-	default:
-		panic("bench: unknown protocol")
+	}
+	if inj != nil {
+		inj.AttachEndpoint(pair, c.Icp)
+	}
+	pair.Start()
+	m := pair.Metrics()
+	var enqueue workload.Sink = pair.Enqueue
+	if chk != nil {
+		enqueue = chk.WrapSink(enqueue)
+	}
+	backlog := pair.Outstanding
+	maxSpan := func() uint32 { return 0 }
+	if sr, ok := pair.(arq.SpanReporter); ok {
+		maxSpan = sr.MaxLiveSpan
+	}
+	finalRate := func() float64 { return 1 }
+	if rr, ok := pair.(arq.RateReporter); ok {
+		finalRate = rr.RateFraction
 	}
 
 	switch {

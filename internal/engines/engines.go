@@ -1,0 +1,10 @@
+// Package engines links every in-tree ARQ engine into the importing binary.
+// The protocol packages register themselves with repro/internal/arq in their
+// init functions; blank-importing this package is how a main (or a
+// registry-driven test) pulls them all in without naming any concretely.
+package engines
+
+import (
+	_ "repro/internal/hdlc"    // registers "srhdlc" and "gbn"
+	_ "repro/internal/lamsdlc" // registers "lams"
+)

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/arq"
-	"repro/internal/lamsdlc"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -23,10 +22,14 @@ func (v Violation) String() string {
 }
 
 // Checker asserts the paper's reliability and recovery contract over one
-// LAMS-DLC run, from outside the protocol: it observes state transitions
-// through a lamsdlc.Probe and the datagram flow through wrapped
-// workload/delivery callbacks, and accumulates violations instead of
-// panicking so a single run can report every breach it provoked.
+// ARQ run, from outside the protocol: it observes state transitions through
+// an arq.Probe and the datagram flow through wrapped workload/delivery
+// callbacks, and accumulates violations instead of panicking so a single
+// run can report every breach it provoked. The recovery and numbering rules
+// key off probe callbacks only a checkpointing engine fires, so against an
+// HDLC baseline (zero arq.RecoveryWindows) the applicable subset — no-loss,
+// duplicates, completion, and the recovery-gate after a declared failure —
+// runs and the rest stays dormant.
 //
 // The rules (DESIGN.md §9 states them with their derivations):
 //
@@ -50,14 +53,14 @@ func (v Violation) String() string {
 //	                 accepted datagram is delivered by the end of the run —
 //	                 the rule that catches a permanently halted link.
 type Checker struct {
-	cfg lamsdlc.Config
+	w arq.RecoveryWindows
 
 	// RequireCompletion enables the completion rule at Finish. Leave it
 	// set (the default from NewChecker) whenever the run's horizon
 	// comfortably covers the fault schedule plus recovery settle time.
 	RequireCompletion bool
 
-	probe lamsdlc.Probe
+	probe arq.Probe
 
 	submitted   []uint64
 	submitSet   map[uint64]bool
@@ -83,19 +86,21 @@ type txRecord struct {
 	at   sim.Time
 }
 
-// NewChecker builds a checker for endpoints running cfg. Install its
-// Probe() on the pair before Start, wrap the workload sink and delivery
-// callback, run, then call Finish.
-func NewChecker(cfg lamsdlc.Config) *Checker {
+// NewChecker builds a checker for endpoints whose recovery timing is w
+// (arq.WindowsProvider yields it from an engine config; the zero value is
+// correct for engines without enforced recovery). Install its Probe() on
+// the pair before Start, wrap the workload sink and delivery callback, run,
+// then call Finish.
+func NewChecker(w arq.RecoveryWindows) *Checker {
 	c := &Checker{
-		cfg:               cfg,
+		w:                 w,
 		RequireCompletion: true,
 		submitSet:         make(map[uint64]bool),
 		delivered:         make(map[uint64]int),
 		transmitted:       make(map[uint64]int),
 		liveTx:            make(map[uint32]txRecord),
 	}
-	c.probe = lamsdlc.Probe{
+	c.probe = arq.Probe{
 		CheckpointHeard:   c.onCheckpointHeard,
 		RecoveryStarted:   c.onRecoveryStarted,
 		RequestNAKSent:    c.onRequestNAK,
@@ -108,8 +113,8 @@ func NewChecker(cfg lamsdlc.Config) *Checker {
 	return c
 }
 
-// Probe returns the transition observer to install on both endpoints.
-func (c *Checker) Probe() *lamsdlc.Probe { return &c.probe }
+// Probe returns the transition observer to install on the pair.
+func (c *Checker) Probe() *arq.Probe { return &c.probe }
 
 // WrapSink interposes submission tracking on a workload sink. Only
 // accepted datagrams (inner returned true) enter the contract.
@@ -146,15 +151,15 @@ func (c *Checker) onCheckpointHeard(now sim.Time, serial uint32, enforced bool) 
 	// younger than the steady-state bound stretched by the observed gap.
 	// The sweep the sender is about to run keeps the bound inductive.
 	gap := now.Sub(c.lastCpHeard) // from t=0 when this is the first
-	bound := c.cfg.ResolvingPeriod()
-	if rt := c.cfg.RoundTrip; rt > bound {
+	bound := c.w.ResolvingPeriod
+	if rt := c.w.RoundTrip; rt > bound {
 		bound = rt
 	}
 	bound += gap
 	for seq, rec := range c.liveTx {
 		if age := now.Sub(rec.at); age > bound {
 			c.violate(now, "numbering", "seq %d (datagram %d) unresolved for %v, bound %v (resolving period %v + checkpoint gap %v)",
-				seq, rec.dgID, age, bound, c.cfg.ResolvingPeriod(), gap)
+				seq, rec.dgID, age, bound, c.w.ResolvingPeriod, gap)
 		}
 	}
 	c.lastCpHeard, c.haveCp = now, true
@@ -168,7 +173,7 @@ func (c *Checker) onRecoveryStarted(now sim.Time) {
 		c.violate(now, "recovery-entry", "recovery re-entered while already recovering")
 	}
 	silence := now.Sub(c.lastCpHeard) // from t=0 before the first checkpoint
-	if min := c.cfg.CheckpointTimerTimeout(); silence < min {
+	if min := c.w.CheckpointTimer; silence < min {
 		c.violate(now, "recovery-entry", "recovery entered after only %v of checkpoint silence, want >= %v", silence, min)
 	}
 	c.recovering = true
@@ -196,6 +201,12 @@ func (c *Checker) onRecoveryEnded(now sim.Time, enforced bool) {
 
 func (c *Checker) onFailure(now sim.Time, reason string) {
 	defer func() { c.failed = true; c.recovering = false }()
+	if c.w.FailureTimeout == 0 {
+		// No enforced-recovery protocol to validate (an HDLC baseline's N2
+		// declaration): record the failure so the recovery-gate and
+		// completion rules adjust, and skip the solicitation-window rules.
+		return
+	}
 	if strings.Contains(reason, "lifetime") {
 		// Lifetime-based declarations (§3.2's unrecoverable case) bypass
 		// the solicitation protocol by design.
@@ -209,8 +220,8 @@ func (c *Checker) onFailure(now sim.Time, reason string) {
 		c.violate(now, "failure-window", "failure declared with no Request-NAK ever sent")
 		return
 	}
-	if silence := now.Sub(c.lastReqNAK); silence < c.cfg.FailureTimeout() {
-		c.violate(now, "failure-window", "failure declared %v after the last solicitation, want >= %v", silence, c.cfg.FailureTimeout())
+	if silence := now.Sub(c.lastReqNAK); silence < c.w.FailureTimeout {
+		c.violate(now, "failure-window", "failure declared %v after the last solicitation, want >= %v", silence, c.w.FailureTimeout)
 	}
 	if c.haveCp && c.lastCpHeard > c.lastReqNAK {
 		c.violate(now, "failure-window", "failure declared although checkpoints arrived after the last solicitation")
@@ -228,7 +239,7 @@ func (c *Checker) onFirstTx(now sim.Time, seq uint32, dgID uint64) {
 	c.transmitted[dgID]++
 }
 
-func (c *Checker) onRetx(now sim.Time, oldSeq, newSeq uint32, dgID uint64, cause lamsdlc.RetxCause) {
+func (c *Checker) onRetx(now sim.Time, oldSeq, newSeq uint32, dgID uint64, cause arq.RetxCause) {
 	if _, ok := c.liveTx[oldSeq]; !ok {
 		c.violate(now, "numbering", "retransmission retires unknown incarnation seq %d", oldSeq)
 	}
@@ -253,8 +264,8 @@ func (c *Checker) Failed() bool { return c.failed }
 
 // Finish evaluates the end-of-run rules and returns every violation
 // accumulated over the run. unreleased is the sender's remaining buffer
-// (lamsdlc.Sender.UnreleasedDatagrams) — datagrams the contract still
-// charges to the sender rather than counting as lost.
+// (arq.Pair.Reclaim) — datagrams the contract still charges to the sender
+// rather than counting as lost.
 func (c *Checker) Finish(unreleased []arq.Datagram) []Violation {
 	held := make(map[uint64]bool, len(unreleased))
 	for _, dg := range unreleased {

@@ -334,14 +334,14 @@ func TestCheckerFlagsBreaches(t *testing.T) {
 	}
 
 	t.Run("recovery entered early", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		p := c.Probe()
 		p.CheckpointHeard(at(100), 1, false)
 		p.RecoveryStarted(at(110)) // 10ms of silence, want >= CheckpointTimerTimeout
 		expect(t, c.Violations(), "recovery-entry")
 	})
 	t.Run("recovery exit without response", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		p := c.Probe()
 		p.CheckpointHeard(at(100), 1, false)
 		p.RecoveryStarted(at(200))
@@ -349,14 +349,14 @@ func TestCheckerFlagsBreaches(t *testing.T) {
 		expect(t, c.Violations(), "recovery-exit")
 	})
 	t.Run("new frame during recovery", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		p := c.Probe()
 		p.RecoveryStarted(at(200))
 		p.FirstTransmission(at(210), 5, 1)
 		expect(t, c.Violations(), "recovery-gate")
 	})
 	t.Run("failure before the silence window", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		p := c.Probe()
 		p.RecoveryStarted(at(200))
 		p.RequestNAKSent(at(200), 1)
@@ -364,7 +364,7 @@ func TestCheckerFlagsBreaches(t *testing.T) {
 		expect(t, c.Violations(), "failure-window")
 	})
 	t.Run("stale incarnation outlives the resolving period", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		p := c.Probe()
 		p.FirstTransmission(at(0), 0, 1)
 		p.CheckpointHeard(at(10), 1, false)
@@ -376,7 +376,7 @@ func TestCheckerFlagsBreaches(t *testing.T) {
 		expect(t, c.Violations(), "numbering")
 	})
 	t.Run("datagram lost", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		accepted := c.WrapSink(func(arq.Datagram) bool { return true })
 		accepted(arq.Datagram{ID: 7})
 		vs := c.Finish(nil) // neither delivered nor held
@@ -384,7 +384,7 @@ func TestCheckerFlagsBreaches(t *testing.T) {
 		expect(t, vs, "completion")
 	})
 	t.Run("duplicate without retransmission", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		accepted := c.WrapSink(func(arq.Datagram) bool { return true })
 		deliver := c.WrapDeliver(nil)
 		accepted(arq.Datagram{ID: 7})
@@ -394,7 +394,7 @@ func TestCheckerFlagsBreaches(t *testing.T) {
 		expect(t, c.Finish(nil), "duplicates")
 	})
 	t.Run("clean run stays clean", func(t *testing.T) {
-		c := faults.NewChecker(cfg)
+		c := faults.NewChecker(cfg.RecoveryWindows())
 		accepted := c.WrapSink(func(arq.Datagram) bool { return true })
 		deliver := c.WrapDeliver(nil)
 		p := c.Probe()

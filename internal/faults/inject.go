@@ -1,9 +1,9 @@
 package faults
 
 import (
+	"repro/internal/arq"
 	"repro/internal/channel"
 	"repro/internal/frame"
-	"repro/internal/lamsdlc"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -14,7 +14,7 @@ import (
 //	inj.WrapPipeConfigs(&ab, &ba)   // before the link is built: burst gates
 //	link := channel.NewAsymmetricLink(sched, ab, ba, rng)
 //	inj.AttachLink(link)            // outages, handovers, storms
-//	inj.AttachReceiver(recv, wcp)   // skew windows (LAMS runs only)
+//	inj.AttachEndpoint(pair, wcp)   // skew windows (checkpointing engines)
 //
 // Everything is schedule-driven: the injector draws no randomness, so a
 // faulted run is exactly as reproducible as a clean one — same spec, same
@@ -26,7 +26,7 @@ type Injector struct {
 	link       *channel.Link
 	downAB     int // overlap-safe down-counters per direction
 	downBA     int
-	recv       *lamsdlc.Receiver
+	retimer    arq.CheckpointRetimer
 	basePeriod sim.Duration
 
 	mEvents      *metrics.Counter // lams_fault_events_total
@@ -148,12 +148,18 @@ func (inj *Injector) AttachLink(l *channel.Link) {
 	}
 }
 
-// AttachReceiver schedules the spec's clock-skew windows against a LAMS
-// receiver: the checkpoint period is scaled by the window's factor at open
-// and restored to basePeriod (W_cp) at close. Skew windows should not
-// overlap; with overlap, the last transition wins.
-func (inj *Injector) AttachReceiver(r *lamsdlc.Receiver, basePeriod sim.Duration) {
-	inj.recv = r
+// AttachEndpoint schedules the spec's clock-skew windows against an endpoint
+// pair: the checkpoint period is scaled by the window's factor at open and
+// restored to basePeriod (W_cp) at close. Engines with no checkpoint process
+// (no arq.CheckpointRetimer — the HDLC baselines) skip the skew events; all
+// other fault kinds apply to any engine. Skew windows should not overlap;
+// with overlap, the last transition wins.
+func (inj *Injector) AttachEndpoint(p arq.Pair, basePeriod sim.Duration) {
+	rt, ok := p.(arq.CheckpointRetimer)
+	if !ok {
+		return
+	}
+	inj.retimer = rt
 	inj.basePeriod = basePeriod
 	for _, ev := range inj.spec.Events {
 		ev := ev
@@ -164,8 +170,8 @@ func (inj *Injector) AttachReceiver(r *lamsdlc.Receiver, basePeriod sim.Duration
 		if skewed <= 0 {
 			skewed = 1
 		}
-		inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.mSkews.Inc(); r.SetCheckpointPeriod(skewed) })
-		inj.at(ev.End(), func() { r.SetCheckpointPeriod(basePeriod) })
+		inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.mSkews.Inc(); rt.SetCheckpointPeriod(skewed) })
+		inj.at(ev.End(), func() { rt.SetCheckpointPeriod(basePeriod) })
 	}
 }
 

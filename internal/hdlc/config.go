@@ -70,6 +70,13 @@ type Config struct {
 	// deliver before SREJ/timeout recovery completes.
 	Stutter bool
 
+	// MaxTimeouts is N2, HDLC's retry count: after this many consecutive
+	// T1 expiries with no readable supervisory frame heard, the sender
+	// declares link failure (API parity with LAMS-DLC's §3.2 declaration).
+	// Zero disables the declaration — the historical behavior, and the
+	// default, so existing experiment outputs are unchanged.
+	MaxTimeouts int
+
 	// Metrics, when non-nil, is the registry the endpoints report their
 	// hdlc_* observability counters and gauges into (see instruments.go
 	// for the full name list). Nil leaves the endpoints uninstrumented.
@@ -121,5 +128,13 @@ func (c Config) Validate() error {
 	if c.Timeout < c.RoundTrip {
 		return fmt.Errorf("hdlc: timeout %v below round trip %v", c.Timeout, c.RoundTrip)
 	}
+	if c.MaxTimeouts < 0 {
+		return fmt.Errorf("hdlc: negative MaxTimeouts")
+	}
 	return nil
 }
+
+// WithLinkLifetime implements arq.EngineConfig. HDLC has no link-lifetime
+// concept — failure supervision is the fixed N2 count — so the lifetime is
+// discarded and the config returned unchanged.
+func (c Config) WithLinkLifetime(sim.Duration) arq.EngineConfig { return c }

@@ -7,22 +7,26 @@ import (
 )
 
 // Pair wires an HDLC Sender and Receiver across a full-duplex simulated
-// link, mirroring lamsdlc.Pair so experiments can swap protocols.
+// link, mirroring lamsdlc.Pair so experiments can swap protocols. It is the
+// HDLC implementation of the arq.Pair engine contract.
 type Pair struct {
 	Sender   *Sender
 	Receiver *Receiver
-	Metrics  *arq.Metrics
-	Link     *channel.Link
+	cfg      Config
+	metrics  *arq.Metrics
+	link     *channel.Link
 }
 
-// NewPair builds and wires the endpoints. deliver may be nil.
-func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc) *Pair {
+// NewPair builds and wires the endpoints. deliver and onFailure may be nil;
+// onFailure fires on N2 (MaxTimeouts) exhaustion.
+func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc, onFailure arq.FailureFunc) *Pair {
 	m := &arq.Metrics{}
 	s := NewSender(sched, link.AtoB, cfg, m)
+	s.SetOnFailure(onFailure)
 	r := NewReceiver(sched, link.BtoA, cfg, m, deliver)
 	link.AtoB.SetHandler(r.HandleFrame)
 	link.BtoA.SetHandler(s.HandleFrame)
-	return &Pair{Sender: s, Receiver: r, Metrics: m, Link: link}
+	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: m, link: link}
 }
 
 // Start activates both ends.
@@ -30,3 +34,43 @@ func (p *Pair) Start() {
 	p.Sender.Start()
 	p.Receiver.Start()
 }
+
+// Stop is orderly teardown at the end of a pass: the sender's timers stop
+// and further work is refused without declaring failure; undelivered
+// datagrams stay reclaimable. The receiver is purely reactive (no timers),
+// so it needs no teardown.
+func (p *Pair) Stop() { p.Sender.Shutdown() }
+
+// Enqueue accepts a datagram from the network layer.
+func (p *Pair) Enqueue(dg arq.Datagram) bool { return p.Sender.Enqueue(dg) }
+
+// Reclaim returns the datagrams not yet cumulatively acknowledged, oldest
+// first. HDLC promises in-order delivery, so — unlike LAMS-DLC — an
+// unreleased in-window frame may in fact have reached the receiver; the
+// exactly-once guarantee across passes is then the resequencer's job, as
+// §2.3 assigns it.
+func (p *Pair) Reclaim() []arq.Datagram { return p.Sender.UnreleasedDatagrams() }
+
+// Outstanding returns the sending-buffer occupancy.
+func (p *Pair) Outstanding() int { return p.Sender.Outstanding() }
+
+// Failed reports whether the sender declared the link failed.
+func (p *Pair) Failed() bool { return p.Sender.Failed() }
+
+// Metrics exposes the pair's shared measurement block.
+func (p *Pair) Metrics() *arq.Metrics { return p.metrics }
+
+// Link exposes the underlying simulated link.
+func (p *Pair) Link() *channel.Link { return p.link }
+
+// SetProbe installs the transition observer. Only the sender has observable
+// transitions (the receiver is reactive), and only the transmission-
+// lifecycle callbacks fire; see Sender.SetProbe.
+func (p *Pair) SetProbe(pr *arq.Probe) { p.Sender.SetProbe(pr) }
+
+// Compile-time contract checks.
+var (
+	_ arq.Pair     = (*Pair)(nil)
+	_ arq.Endpoint = (*Sender)(nil)
+	_ arq.Endpoint = (*Receiver)(nil)
+)

@@ -24,7 +24,7 @@ func newScenario(cfg Config, pipe channel.PipeConfig, seed uint64) *scenario {
 	sc.pair = NewPair(sched, link, cfg, func(_ sim.Time, dg arq.Datagram, _ uint32) {
 		sc.got[dg.ID]++
 		sc.order = append(sc.order, dg.ID)
-	})
+	}, nil)
 	sc.pair.Start()
 	return sc
 }
@@ -105,8 +105,8 @@ func TestPerfectChannelStrictReliability(t *testing.T) {
 	sc.enqueueAll(n, 1024)
 	sc.sched.RunFor(10 * sim.Second)
 	sc.assertStrictReliability(t, n)
-	if sc.pair.Metrics.Retransmissions.Value() != 0 {
-		t.Fatalf("%d retransmissions on perfect channel", sc.pair.Metrics.Retransmissions.Value())
+	if sc.pair.Metrics().Retransmissions.Value() != 0 {
+		t.Fatalf("%d retransmissions on perfect channel", sc.pair.Metrics().Retransmissions.Value())
 	}
 	if sc.pair.Sender.Unacked() != 0 {
 		t.Fatal("window not drained")
@@ -126,8 +126,8 @@ func TestWindowLimitsOutstanding(t *testing.T) {
 	if got := sc.pair.Sender.Unacked(); got != 8 {
 		t.Fatalf("unacked = %d, want window 8", got)
 	}
-	if sc.pair.Metrics.FirstTx.Value() != 8 {
-		t.Fatalf("transmitted %d, want 8 (window stall)", sc.pair.Metrics.FirstTx.Value())
+	if sc.pair.Metrics().FirstTx.Value() != 8 {
+		t.Fatalf("transmitted %d, want 8 (window stall)", sc.pair.Metrics().FirstTx.Value())
 	}
 }
 
@@ -149,7 +149,7 @@ func TestSREJRecoversSingleLoss(t *testing.T) {
 	sc.enqueueAll(n, 1024)
 	sc.sched.RunFor(5 * sim.Second)
 	sc.assertStrictReliability(t, n)
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	if m.Retransmissions.Value() != 1 {
 		t.Fatalf("retransmissions = %d, want 1 (SREJ selective)", m.Retransmissions.Value())
 	}
@@ -172,7 +172,7 @@ func TestGoBackNDiscardsAndBacksUp(t *testing.T) {
 	sc.enqueueAll(n, 1024)
 	sc.sched.RunFor(5 * sim.Second)
 	sc.assertStrictReliability(t, n)
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	// GBN retransmits the lost frame and everything after it in flight.
 	if m.Retransmissions.Value() < 2 {
 		t.Fatalf("retransmissions = %d, want several (go-back-n)", m.Retransmissions.Value())
@@ -195,7 +195,7 @@ func TestTimeoutRecoversLostSREJ(t *testing.T) {
 	sc.enqueueAll(n, 1024)
 	sc.sched.RunFor(10 * sim.Second)
 	sc.assertStrictReliability(t, n)
-	if sc.pair.Metrics.Retransmissions.Value() == 0 {
+	if sc.pair.Metrics().Retransmissions.Value() == 0 {
 		t.Fatal("no timeout retransmission happened")
 	}
 }
@@ -218,7 +218,7 @@ func TestLostRRRecoveredByPoll(t *testing.T) {
 	pair := NewPair(sched, link, cfg, func(_ sim.Time, dg arq.Datagram, _ uint32) {
 		got[dg.ID]++
 		order = append(order, dg.ID)
-	})
+	}, nil)
 	pair.Start()
 	for i := 0; i < 12; i++ {
 		pair.Sender.Enqueue(arq.Datagram{ID: uint64(i), Payload: make([]byte, 512)})
@@ -314,7 +314,7 @@ func TestDeterministicRuns(t *testing.T) {
 		sc := newScenario(baseCfg(), pipe, 42)
 		sc.enqueueAll(100, 1024)
 		sc.sched.RunFor(30 * sim.Second)
-		return sc.pair.Metrics.Retransmissions.Value(), sc.pair.Metrics.ControlSent.Value(), len(sc.order)
+		return sc.pair.Metrics().Retransmissions.Value(), sc.pair.Metrics().ControlSent.Value(), len(sc.order)
 	}
 	a1, b1, c1 := run()
 	a2, b2, c2 := run()
@@ -327,7 +327,7 @@ func TestHoldingTimeRecorded(t *testing.T) {
 	sc := newScenario(baseCfg(), basePipe(), 9)
 	sc.enqueueAll(50, 1024)
 	sc.sched.RunFor(5 * sim.Second)
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	if m.HoldingTime.N() != 50 {
 		t.Fatalf("holding samples = %d", m.HoldingTime.N())
 	}
@@ -350,7 +350,7 @@ func TestStutterFillsIdleTime(t *testing.T) {
 		t.Fatal("stutter mode never used the idle wire")
 	}
 	// Stutter retransmissions count as retransmissions on the wire.
-	if sc.pair.Metrics.Retransmissions.Value() < sc.pair.Sender.Stutters() {
+	if sc.pair.Metrics().Retransmissions.Value() < sc.pair.Sender.Stutters() {
 		t.Fatal("stutters not accounted as retransmissions")
 	}
 }
@@ -376,7 +376,7 @@ func TestStutterBeatsTimeoutRecovery(t *testing.T) {
 		pair := NewPair(sched, link, cfg, func(now sim.Time, dg arq.Datagram, _ uint32) {
 			count++
 			last = now
-		})
+		}, nil)
 		pair.Start()
 		for i := 0; i < 8; i++ {
 			pair.Sender.Enqueue(arq.Datagram{ID: uint64(i), Payload: make([]byte, 1024)})

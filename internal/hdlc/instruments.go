@@ -15,6 +15,7 @@ type senderInstr struct {
 	stutterRetx  *metrics.Counter   // hdlc_stutter_retx_total: idle-wire repeats
 	rrHeard      *metrics.Counter   // hdlc_rr_heard_total: non-stale RRs applied
 	releases     *metrics.Counter   // hdlc_releases_total: frames cumulatively acked
+	failures     *metrics.Counter   // hdlc_failures_total: N2 retry exhaustion
 	outstanding  *metrics.Gauge     // hdlc_send_outstanding
 	holdingNS    *metrics.Histogram // hdlc_holding_time_ns
 }
@@ -29,6 +30,7 @@ func newSenderInstr(reg *metrics.Registry) senderInstr {
 		stutterRetx:  reg.Counter("hdlc_stutter_retx_total"),
 		rrHeard:      reg.Counter("hdlc_rr_heard_total"),
 		releases:     reg.Counter("hdlc_releases_total"),
+		failures:     reg.Counter("hdlc_failures_total"),
 		outstanding:  reg.Gauge("hdlc_send_outstanding"),
 		holdingNS:    reg.Histogram("hdlc_holding_time_ns", metrics.ExpBuckets(1e5, 2, 24)),
 	}

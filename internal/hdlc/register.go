@@ -1,0 +1,49 @@
+package hdlc
+
+import (
+	"fmt"
+
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// init publishes both HDLC baselines in the engine registry under distinct
+// names, each forcing its Mode so a name always means one recovery strategy.
+// Blank-import repro/internal/engines to link every registered engine into a
+// binary.
+func init() {
+	arq.Register(arq.Registration{
+		Name:    "srhdlc",
+		Aliases: []string{"sr", "sr-hdlc", "hdlc"},
+		Display: "SR-HDLC",
+		Defaults: func(roundTrip sim.Duration) arq.EngineConfig {
+			c := Defaults(roundTrip)
+			c.Mode = SelectiveRepeat
+			return c
+		},
+		New: newPairFor("srhdlc", SelectiveRepeat),
+	})
+	arq.Register(arq.Registration{
+		Name:    "gbn",
+		Aliases: []string{"gbnhdlc", "gbn-hdlc"},
+		Display: "GBN-HDLC",
+		Defaults: func(roundTrip sim.Duration) arq.EngineConfig {
+			c := Defaults(roundTrip)
+			c.Mode = GoBackN
+			return c
+		},
+		New: newPairFor("gbn", GoBackN),
+	})
+}
+
+func newPairFor(name string, mode Mode) arq.NewPairFunc {
+	return func(sched *sim.Scheduler, link *channel.Link, cfg arq.EngineConfig, deliver arq.DeliverFunc, onFailure arq.FailureFunc) arq.Pair {
+		c, ok := cfg.(Config)
+		if !ok {
+			panic(fmt.Sprintf("hdlc: engine %q given %T, want hdlc.Config", name, cfg))
+		}
+		c.Mode = mode
+		return NewPair(sched, link, c, deliver, onFailure)
+	}
+}

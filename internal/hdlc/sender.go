@@ -1,6 +1,8 @@
 package hdlc
 
 import (
+	"fmt"
+
 	"repro/internal/arq"
 	"repro/internal/frame"
 	"repro/internal/sim"
@@ -40,6 +42,15 @@ type Sender struct {
 	stutterTimer *sim.Timer
 	stutterIdx   int
 	stutters     uint64
+
+	// Failure supervision: consecutive T1 expiries with no supervisory
+	// frame heard (the N2 retry count of real HDLC). Zero MaxTimeouts
+	// disables declaration.
+	timeoutsInRow int
+	failed        bool
+	onFailure     arq.FailureFunc
+
+	probe *arq.Probe
 }
 
 // NewSender constructs an HDLC sender.
@@ -56,6 +67,22 @@ func NewSender(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics) 
 
 // Stutters returns the number of idle-time stutter retransmissions sent.
 func (s *Sender) Stutters() uint64 { return s.stutters }
+
+// SetOnFailure installs the failure callback (API parity with the LAMS-DLC
+// sender, whose constructor takes it; kept as a setter here so the raw
+// constructor signature the live driver uses stays put). Install before
+// Start.
+func (s *Sender) SetOnFailure(fn arq.FailureFunc) { s.onFailure = fn }
+
+// SetProbe installs the transition observer; nil detaches. HDLC fires the
+// transmission-lifecycle callbacks (FirstTransmission, Retransmitted with
+// oldSeq == newSeq, Released, FailureDeclared); the checkpoint/recovery
+// callbacks have no HDLC transition and never fire.
+func (s *Sender) SetProbe(p *arq.Probe) { s.probe = p }
+
+// Failed reports whether the sender declared the link failed (or was shut
+// down).
+func (s *Sender) Failed() bool { return s.failed }
 
 // Start is a no-op for symmetry with the LAMS-DLC sender.
 func (s *Sender) Start() {}
@@ -75,8 +102,12 @@ func (s *Sender) SendBase() uint32 { return s.sendBase }
 
 // Enqueue accepts a datagram from the network layer. Unlike LAMS-DLC there
 // is no transparent bound; the queue grows as the analysis predicts, so the
-// caller measures rather than limits it.
+// caller measures rather than limits it. A failed or shut-down sender
+// refuses work, mirroring the LAMS-DLC contract.
 func (s *Sender) Enqueue(dg arq.Datagram) bool {
+	if s.failed {
+		return false
+	}
 	dg.EnqueuedAt = s.sched.Now()
 	s.queue = append(s.queue, dg)
 	s.m.Submitted.Inc()
@@ -114,7 +145,10 @@ func (s *Sender) pump() {
 	// The frame that fills the window carries the P bit: ask the receiver
 	// for an RR checkpoint so the window can turn over.
 	final := uint32(len(s.window)) == uint32(s.cfg.WindowSize) || len(s.queue) == 0
-	s.transmit(e, final, false)
+	s.transmit(e, final, false, 0)
+	if s.probe != nil && s.probe.FirstTransmission != nil {
+		s.probe.FirstTransmission(now, e.seq, e.dg.ID)
+	}
 	s.noteOccupancy()
 	tx := s.wire.TxTime(frame.NewI(0, 0, dg.Payload))
 	s.wireFree = now.Add(tx)
@@ -124,8 +158,10 @@ func (s *Sender) pump() {
 }
 
 // transmit sends (or resends) e and restarts T1 (the single HDLC
-// acknowledgment timer).
-func (s *Sender) transmit(e *hentry, final, retx bool) {
+// acknowledgment timer). cause classifies a retransmission for the probe;
+// it is ignored when retx is false (HDLC keeps the original number, so the
+// probe sees oldSeq == newSeq).
+func (s *Sender) transmit(e *hentry, final, retx bool, cause arq.RetxCause) {
 	f := &frame.Frame{
 		Kind:       frame.KindHDLCI,
 		Seq:        e.seq,
@@ -138,6 +174,9 @@ func (s *Sender) transmit(e *hentry, final, retx bool) {
 	if retx {
 		s.m.Retransmissions.Inc()
 		s.im.retx.Inc()
+		if s.probe != nil && s.probe.Retransmitted != nil {
+			s.probe.Retransmitted(s.sched.Now(), e.seq, e.seq, e.dg.ID, cause)
+		}
 	} else {
 		s.m.FirstTx.Inc()
 		s.im.firstTx.Inc()
@@ -188,7 +227,7 @@ func (s *Sender) stutter() {
 	s.stutterIdx++
 	s.stutters++
 	s.im.stutterRetx.Inc()
-	s.transmit(e, s.stutterIdx == len(s.window), true)
+	s.transmit(e, s.stutterIdx == len(s.window), true, arq.RetxStutter)
 	tx := s.wire.TxTime(&frame.Frame{Kind: frame.KindHDLCI, Payload: e.dg.Payload})
 	s.wireFree = s.sched.Now().Add(tx)
 	s.stutterTimer.Start(tx)
@@ -197,18 +236,78 @@ func (s *Sender) stutter() {
 // onTimeout performs HDLC checkpoint (timeout) retransmission: resend the
 // oldest unacknowledged I-frame with the P bit set, soliciting an RR that
 // reveals the receiver's true state (§4: timeout recovery governs the
-// retransmission periods, with one frame per period).
+// retransmission periods, with one frame per period). Each expiry with no
+// intervening supervisory frame counts against N2 (MaxTimeouts); exhausting
+// it declares link failure.
 func (s *Sender) onTimeout() {
 	if len(s.window) == 0 {
 		return
 	}
+	s.timeoutsInRow++
+	if s.cfg.MaxTimeouts > 0 && s.timeoutsInRow > s.cfg.MaxTimeouts {
+		s.declareFailure()
+		return
+	}
 	s.im.timeoutPolls.Inc()
-	s.transmit(s.window[0], true, true)
+	s.transmit(s.window[0], true, true, arq.RetxTimeout)
 }
 
-// HandleFrame processes supervisory frames from the receiver.
+// declareFailure marks the link failed after N2 exhaustion: timers stop, new
+// work is refused, and the unreleased datagrams stay reclaimable for
+// carry-over, mirroring the LAMS-DLC failure path.
+func (s *Sender) declareFailure() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.retryTimer.Stop()
+	s.pumpTimer.Stop()
+	s.stutterTimer.Stop()
+	s.pumpArmed = false
+	s.m.Failures.Inc()
+	s.im.failures.Inc()
+	reason := fmt.Sprintf("N2 exhausted: %d consecutive T1 expiries", s.timeoutsInRow)
+	if s.probe != nil && s.probe.FailureDeclared != nil {
+		s.probe.FailureDeclared(s.sched.Now(), reason)
+	}
+	if s.onFailure != nil {
+		s.onFailure(s.sched.Now(), reason)
+	}
+}
+
+// Shutdown is orderly teardown at the end of a pass: stop all timers and
+// refuse further work without running the failure callbacks. Unreleased
+// datagrams remain reclaimable via UnreleasedDatagrams.
+func (s *Sender) Shutdown() {
+	s.failed = true
+	s.retryTimer.Stop()
+	s.pumpTimer.Stop()
+	s.stutterTimer.Stop()
+	s.pumpArmed = false
+}
+
+// UnreleasedDatagrams returns the datagrams not yet cumulatively
+// acknowledged — in-window frames in sequence order, then the untransmitted
+// queue — so a higher layer can carry them into the next pass.
+func (s *Sender) UnreleasedDatagrams() []arq.Datagram {
+	out := make([]arq.Datagram, 0, len(s.window)+len(s.queue))
+	for _, e := range s.window {
+		out = append(out, e.dg)
+	}
+	out = append(out, s.queue...)
+	return out
+}
+
+// HandleFrame processes supervisory frames from the receiver. Any readable
+// supervisory frame is proof of life, so it resets the N2 count.
 func (s *Sender) HandleFrame(now sim.Time, f *frame.Frame) {
-	if f.Corrupted {
+	if f.Corrupted || s.failed {
+		return
+	}
+	switch f.Kind {
+	case frame.KindRR, frame.KindSREJ, frame.KindREJ:
+		s.timeoutsInRow = 0
+	default:
 		return
 	}
 	switch f.Kind {
@@ -234,6 +333,9 @@ func (s *Sender) handleRR(now sim.Time, f *frame.Frame) {
 			s.m.HoldingTime.Add(float64(now.Sub(e.firstTx)))
 			s.im.releases.Inc()
 			s.im.holdingNS.Observe(float64(now.Sub(e.firstTx)))
+			if s.probe != nil && s.probe.Released != nil {
+				s.probe.Released(now, e.seq, e.dg.ID)
+			}
 		} else {
 			keep = append(keep, e)
 		}
@@ -255,7 +357,7 @@ func (s *Sender) handleSREJ(_ sim.Time, f *frame.Frame) {
 			// Retransmissions poll (P bit): §4's model has each
 			// retransmission period end with an RR solicited by the
 			// last retransmitted I-frame.
-			s.transmit(e, true, true)
+			s.transmit(e, true, true, arq.RetxSREJ)
 			return
 		}
 	}
@@ -276,7 +378,7 @@ func (s *Sender) handleREJ(_ sim.Time, f *frame.Frame) {
 		if e.seq >= f.Seq {
 			i++
 			s.im.rejRetx.Inc()
-			s.transmit(e, i == n, true)
+			s.transmit(e, i == n, true, arq.RetxREJ)
 		}
 	}
 }

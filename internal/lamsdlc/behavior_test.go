@@ -51,7 +51,7 @@ func TestDeliveryDelayMeasured(t *testing.T) {
 	sc := newScenario(t, scenarioOpts{cfg: baseCfg(), pipe: basePipe(), seed: 40})
 	sc.enqueueAll(50, 512)
 	sc.runFor(2 * sim.Second)
-	mean := sim.Duration(sc.pair.Metrics.DeliveryDelay.Mean())
+	mean := sim.Duration(sc.pair.Metrics().DeliveryDelay.Mean())
 	oneWay := 13 * sim.Millisecond
 	if mean < oneWay {
 		t.Fatalf("mean delay %v below flight time %v", mean, oneWay)
@@ -308,7 +308,7 @@ func TestDedupWindowZeroDuplication(t *testing.T) {
 	if d := sc.duplicates(); d != 0 {
 		t.Fatalf("%d duplicates reached the network layer with dedup enabled", d)
 	}
-	if sc.pair.Metrics.DupSuppressed.Value() == 0 {
+	if sc.pair.Metrics().DupSuppressed.Value() == 0 {
 		t.Fatal("expected the dedup window to actually suppress something at P_C=0.5")
 	}
 }

@@ -180,6 +180,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// WithLinkLifetime implements arq.EngineConfig: the session layer sets the
+// remaining pass duration so §3.2's recoverable-failure test has the real
+// lifetime.
+func (c Config) WithLinkLifetime(d sim.Duration) arq.EngineConfig {
+	c.LinkLifetime = d
+	return c
+}
+
+// RecoveryWindows implements arq.WindowsProvider: the timing bounds the
+// §3.2 invariant checker asserts against this configuration.
+func (c Config) RecoveryWindows() arq.RecoveryWindows {
+	return arq.RecoveryWindows{
+		CheckpointTimer: c.CheckpointTimerTimeout(),
+		FailureTimeout:  c.FailureTimeout(),
+		ResolvingPeriod: c.ResolvingPeriod(),
+		RoundTrip:       c.RoundTrip,
+	}
+}
+
 // CheckpointTimeout is the nominal checkpoint-timer timeout, C_depth·W_cp
 // (§3.2).
 func (c Config) CheckpointTimeout() sim.Duration {

@@ -9,12 +9,14 @@ import (
 // Pair wires a Sender and a Receiver across a full-duplex simulated link:
 // I-frames flow A→B, checkpoint traffic flows B→A. It is the one-line setup
 // the experiments and examples use for unidirectional data transfer (a
-// bidirectional node runs one Pair per direction; see internal/node).
+// bidirectional node runs one Pair per direction; see internal/node), and
+// the LAMS-DLC implementation of the arq.Pair engine contract.
 type Pair struct {
 	Sender   *Sender
 	Receiver *Receiver
-	Metrics  *arq.Metrics
-	Link     *channel.Link
+	cfg      Config
+	metrics  *arq.Metrics
+	link     *channel.Link
 }
 
 // NewPair builds and wires the endpoints. deliver and onFailure may be nil.
@@ -24,7 +26,7 @@ func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.D
 	r := NewReceiver(sched, link.BtoA, cfg, m, deliver)
 	link.AtoB.SetHandler(r.HandleFrame)
 	link.BtoA.SetHandler(s.HandleFrame)
-	return &Pair{Sender: s, Receiver: r, Metrics: m, Link: link}
+	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: m, link: link}
 }
 
 // Start activates both ends (receiver checkpointing begins immediately).
@@ -32,3 +34,55 @@ func (p *Pair) Start() {
 	p.Sender.Start()
 	p.Receiver.Start()
 }
+
+// Stop is orderly teardown at the end of a pass: the checkpoint process
+// halts and the sender refuses further work without declaring failure;
+// undelivered datagrams stay reclaimable.
+func (p *Pair) Stop() {
+	p.Receiver.Stop()
+	p.Sender.Shutdown()
+}
+
+// Enqueue accepts a datagram from the network layer.
+func (p *Pair) Enqueue(dg arq.Datagram) bool { return p.Sender.Enqueue(dg) }
+
+// Reclaim returns the datagrams the sender still holds, oldest first.
+func (p *Pair) Reclaim() []arq.Datagram { return p.Sender.UnreleasedDatagrams() }
+
+// Outstanding returns the sending-buffer occupancy.
+func (p *Pair) Outstanding() int { return p.Sender.Outstanding() }
+
+// Failed reports whether the sender declared the link failed.
+func (p *Pair) Failed() bool { return p.Sender.Failed() }
+
+// Metrics exposes the pair's shared measurement block.
+func (p *Pair) Metrics() *arq.Metrics { return p.metrics }
+
+// Link exposes the underlying simulated link.
+func (p *Pair) Link() *channel.Link { return p.link }
+
+// SetProbe installs the transition observer on both ends.
+func (p *Pair) SetProbe(pr *arq.Probe) {
+	p.Sender.SetProbe(pr)
+	p.Receiver.SetProbe(pr)
+}
+
+// MaxLiveSpan implements arq.SpanReporter.
+func (p *Pair) MaxLiveSpan() uint32 { return p.Sender.MaxLiveSpan() }
+
+// RateFraction implements arq.RateReporter.
+func (p *Pair) RateFraction() float64 { return p.Sender.RateFraction() }
+
+// SetCheckpointPeriod implements arq.CheckpointRetimer (fault-injected
+// clock skew).
+func (p *Pair) SetCheckpointPeriod(d sim.Duration) { p.Receiver.SetCheckpointPeriod(d) }
+
+// Compile-time contract checks.
+var (
+	_ arq.Pair              = (*Pair)(nil)
+	_ arq.SpanReporter      = (*Pair)(nil)
+	_ arq.RateReporter      = (*Pair)(nil)
+	_ arq.CheckpointRetimer = (*Pair)(nil)
+	_ arq.Endpoint          = (*Sender)(nil)
+	_ arq.Endpoint          = (*Receiver)(nil)
+)

@@ -1,92 +1,25 @@
 package lamsdlc
 
-import "repro/internal/sim"
+import "repro/internal/arq"
 
-// RetxCause classifies why the sender retransmitted a frame. The causes
-// partition lams_iframes_retx_total exactly the way the per-cause counters
-// in instruments.go do.
-type RetxCause uint8
-
-// Retransmission causes.
-const (
-	// RetxNAK: a checkpoint NAK named the frame's current incarnation.
-	RetxNAK RetxCause = iota
-	// RetxCoverage: the watermark covered the frame but the checkpoint
-	// serial jumped by more than C_depth, so the report chain is broken and
-	// releasing would risk loss — the sender retransmits conservatively
-	// (duplicates are resolved downstream).
-	RetxCoverage
-	// RetxEnforced: an Enforced-NAK showed the receiver has never seen the
-	// frame although it had a full round trip to arrive.
-	RetxEnforced
-	// RetxResolving: the frame went unreported for a full resolving period
-	// (§3.3) — a corrupted trailing frame with no successor to reveal the
-	// gap.
-	RetxResolving
+// Probe and RetxCause moved to internal/arq when the endpoint contract was
+// lifted out of this package (every engine shares one probe surface); the
+// aliases keep the protocol-local spelling the tests and checker grew up
+// with.
+type (
+	// Probe observes protocol state transitions (see arq.Probe).
+	Probe = arq.Probe
+	// RetxCause classifies why the sender retransmitted a frame.
+	RetxCause = arq.RetxCause
 )
 
-// String names the cause.
-func (c RetxCause) String() string {
-	switch c {
-	case RetxNAK:
-		return "nak"
-	case RetxCoverage:
-		return "coverage"
-	case RetxEnforced:
-		return "enforced"
-	case RetxResolving:
-		return "resolving"
-	}
-	return "unknown"
-}
-
-// Probe observes protocol state transitions on both halves of an endpoint
-// pair. It exists for the fault-injection invariant checker
-// (internal/faults), which asserts the paper's §3.2 recovery state rules
-// and reliability contract from outside the protocol, and for tests that
-// need transition instants rather than aggregate counters.
-//
-// Every field is optional; a nil Probe (the default) costs one nil check
-// per call site. Callbacks run synchronously inside the protocol state
-// machine: they must not call back into the endpoint.
-type Probe struct {
-	// Sender-side transitions.
-
-	// CheckpointHeard fires for every readable checkpoint-family frame the
-	// sender processes (periodic Check-Point, Check-Point-NAK, Enforced-NAK
-	// and Resolving commands alike), before its effects are applied.
-	CheckpointHeard func(now sim.Time, serial uint32, enforced bool)
-	// RecoveryStarted fires when the checkpoint timer expires and the
-	// sender begins Enforced Recovery (new I-frames suspend).
-	RecoveryStarted func(now sim.Time)
-	// RequestNAKSent fires for every Request-NAK solicitation, including
-	// failure-timer retries.
-	RequestNAKSent func(now sim.Time, serial uint32)
-	// RecoveryEnded fires when Enforced Recovery completes and new
-	// I-frames resume. enforced reports whether the response carried the
-	// Enforced bit (false when the resumed periodic checkpoint stream
-	// answered for a lost Enforced-NAK).
-	RecoveryEnded func(now sim.Time, enforced bool)
-	// FailureDeclared fires once if the sender declares link failure.
-	FailureDeclared func(now sim.Time, reason string)
-	// FirstTransmission fires when a datagram is transmitted for the first
-	// time under its initial sequence number.
-	FirstTransmission func(now sim.Time, seq uint32, dgID uint64)
-	// Retransmitted fires when a frame is re-sent under a fresh sequence
-	// number; oldSeq is the retired incarnation, newSeq the fresh one.
-	Retransmitted func(now sim.Time, oldSeq, newSeq uint32, dgID uint64, cause RetxCause)
-	// Released fires when a covered positive acknowledgement frees a
-	// buffer slot.
-	Released func(now sim.Time, seq uint32, dgID uint64)
-
-	// Receiver-side transitions.
-
-	// CheckpointSent fires for every checkpoint-family frame the receiver
-	// emits (enforced marks Enforced-NAK / Resolving responses).
-	CheckpointSent func(now sim.Time, serial uint32, enforced bool)
-	// StopGoChanged fires when the receiver's flow-control bit flips.
-	StopGoChanged func(now sim.Time, stop bool)
-}
+// Retransmission causes (the LAMS-DLC subset of arq's partition).
+const (
+	RetxNAK       = arq.RetxNAK
+	RetxCoverage  = arq.RetxCoverage
+	RetxEnforced  = arq.RetxEnforced
+	RetxResolving = arq.RetxResolving
+)
 
 // SetProbe installs the transition observer; nil detaches. Install before
 // Start: the probe is read synchronously by the state machine.

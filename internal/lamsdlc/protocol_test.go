@@ -108,7 +108,7 @@ func TestPerfectChannelDeliversAllInOrderNoRetx(t *testing.T) {
 	if d := sc.duplicates(); d != 0 {
 		t.Fatalf("%d duplicates on a perfect channel", d)
 	}
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	if m.Retransmissions.Value() != 0 {
 		t.Fatalf("%d retransmissions on a perfect channel", m.Retransmissions.Value())
 	}
@@ -128,7 +128,7 @@ func TestSenderBufferDrainsAndHoldingBounded(t *testing.T) {
 	sc := newScenario(t, scenarioOpts{cfg: baseCfg(), pipe: basePipe(), seed: 2})
 	sc.enqueueAll(200, 1024)
 	sc.runFor(5 * sim.Second)
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	if m.HoldingTime.N() != 200 {
 		t.Fatalf("released %d frames, want 200", m.HoldingTime.N())
 	}
@@ -158,7 +158,7 @@ func TestSingleCorruptionRecoversViaCheckpointNAK(t *testing.T) {
 	sc.enqueueAll(10, 1024)
 	sc.runFor(2 * sim.Second)
 	sc.assertAllDelivered(t, 10)
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	if m.Retransmissions.Value() != 1 {
 		t.Fatalf("retransmissions = %d, want exactly 1 (stale NAKs must be ignored)",
 			m.Retransmissions.Value())
@@ -182,7 +182,7 @@ func TestCorruptedTrailingFrameRecoveredByResolvingTimeout(t *testing.T) {
 	sc.enqueueAll(10, 1024)
 	sc.runFor(3 * sim.Second)
 	sc.assertAllDelivered(t, 10)
-	if sc.pair.Metrics.Retransmissions.Value() == 0 {
+	if sc.pair.Metrics().Retransmissions.Value() == 0 {
 		t.Fatal("expected a resolving-timeout retransmission")
 	}
 	if sc.pair.Sender.Unacked() != 0 {
@@ -256,15 +256,15 @@ func TestCheckpointLossCostsOneIntervalNotRoundTrip(t *testing.T) {
 	lossy.runFor(3 * sim.Second)
 
 	lossy.assertAllDelivered(t, 50)
-	dmax := lossy.pair.Metrics.HoldingTime.Max() - clean.pair.Metrics.HoldingTime.Max()
+	dmax := lossy.pair.Metrics().HoldingTime.Max() - clean.pair.Metrics().HoldingTime.Max()
 	wcp := float64(baseCfg().CheckpointInterval)
 	if dmax > 2*wcp {
 		t.Fatalf("checkpoint loss cost %v of holding, want <= ~%v",
 			sim.Duration(dmax), sim.Duration(2*wcp))
 	}
-	if lossy.pair.Metrics.Retransmissions.Value() != 0 {
+	if lossy.pair.Metrics().Retransmissions.Value() != 0 {
 		t.Fatalf("checkpoint loss must not cause retransmissions, got %d",
-			lossy.pair.Metrics.Retransmissions.Value())
+			lossy.pair.Metrics().Retransmissions.Value())
 	}
 }
 
@@ -391,7 +391,7 @@ func TestFlowControlThrottlesAndRecovers(t *testing.T) {
 	sc.enqueueAll(n, 1024)
 	sc.runFor(60 * sim.Second)
 	sc.assertAllDelivered(t, n)
-	m := sc.pair.Metrics
+	m := sc.pair.Metrics()
 	if m.RateChanges.Value() == 0 {
 		t.Fatal("flow control never engaged")
 	}
@@ -432,7 +432,7 @@ func TestDeterministicRuns(t *testing.T) {
 		sc := newScenario(t, scenarioOpts{cfg: baseCfg(), pipe: pipe, seed: 99})
 		sc.enqueueAll(200, 1024)
 		sc.runFor(20 * sim.Second)
-		m := sc.pair.Metrics
+		m := sc.pair.Metrics()
 		return m.Retransmissions.Value(), m.Delivered.Value(),
 			m.ControlSent.Value(), len(sc.order)
 	}
@@ -611,7 +611,7 @@ func TestSaturatedSenderBufferIsTransparentSized(t *testing.T) {
 	r := baseCfg().RoundTrip.Seconds()
 	icp := baseCfg().CheckpointInterval.Seconds()
 	bLams := (1 / tf) * sBar * (r + (nCp-0.5)*icp)
-	maxUnacked := sc.pair.Metrics.SendBufOcc.Max()
+	maxUnacked := sc.pair.Metrics().SendBufOcc.Max()
 	if maxUnacked > 3*bLams+float64(n) { // queue includes untransmitted backlog
 		t.Fatalf("sender occupancy %v way beyond transparent size %v", maxUnacked, bLams)
 	}
@@ -623,7 +623,7 @@ func TestShutdownStopsWithoutFailure(t *testing.T) {
 	sc.runFor(5 * sim.Millisecond)
 	sc.pair.Sender.Shutdown()
 	sc.runFor(20 * sim.Second)
-	if sc.pair.Metrics.Failures.Value() != 0 {
+	if sc.pair.Metrics().Failures.Value() != 0 {
 		t.Fatal("shutdown counted as failure")
 	}
 	if sc.failedAt != 0 {

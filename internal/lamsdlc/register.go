@@ -1,0 +1,31 @@
+package lamsdlc
+
+import (
+	"fmt"
+
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// init publishes the protocol in the engine registry, so protocol-agnostic
+// layers (node, session, bench, faults, the CLIs) can build LAMS-DLC pairs
+// by name. Blank-import repro/internal/engines to link every registered
+// engine into a binary.
+func init() {
+	arq.Register(arq.Registration{
+		Name:    "lams",
+		Aliases: []string{"lamsdlc", "lams-dlc"},
+		Display: "LAMS-DLC",
+		Defaults: func(roundTrip sim.Duration) arq.EngineConfig {
+			return Defaults(roundTrip)
+		},
+		New: func(sched *sim.Scheduler, link *channel.Link, cfg arq.EngineConfig, deliver arq.DeliverFunc, onFailure arq.FailureFunc) arq.Pair {
+			c, ok := cfg.(Config)
+			if !ok {
+				panic(fmt.Sprintf("lamsdlc: engine %q given %T, want lamsdlc.Config", "lams", cfg))
+			}
+			return NewPair(sched, link, c, deliver, onFailure)
+		},
+	})
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/arq"
 	"repro/internal/channel"
-	"repro/internal/lamsdlc"
 	"repro/internal/resequence"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -25,7 +24,7 @@ type Stats struct {
 
 // outLink is the transmitting side of one neighbor adjacency.
 type outLink struct {
-	pair      *lamsdlc.Pair
+	pair      arq.Pair
 	nextID    uint64 // per-link DLC datagram IDs
 	failed    bool
 	reclaimed bool // stranded datagrams already pulled back
@@ -35,7 +34,7 @@ type outLink struct {
 type Node struct {
 	id    ID
 	sched *sim.Scheduler
-	cfg   lamsdlc.Config
+	eng   arq.Engine
 
 	links  map[ID]*outLink
 	routes map[ID]ID // destination -> next hop
@@ -52,16 +51,17 @@ type Node struct {
 	Stats Stats
 }
 
-// New constructs a node. cfg parameterizes every LAMS-DLC link the node
-// terminates.
-func New(sched *sim.Scheduler, id ID, cfg lamsdlc.Config) *Node {
-	if err := cfg.Validate(); err != nil {
+// New constructs a node. eng parameterizes every DLC link the node
+// terminates: any registered engine works, so an HDLC baseline can run the
+// same multi-hop topologies as LAMS-DLC.
+func New(sched *sim.Scheduler, id ID, eng arq.Engine) *Node {
+	if err := eng.Validate(); err != nil {
 		panic(err)
 	}
 	return &Node{
 		id:     id,
 		sched:  sched,
-		cfg:    cfg,
+		eng:    eng,
 		links:  make(map[ID]*outLink),
 		routes: make(map[ID]ID),
 		reseq:  make(map[ID]*resequence.Resequencer),
@@ -88,12 +88,12 @@ func (n *Node) Neighbors() []ID {
 // LinkMetrics exposes the DLC metrics of the outgoing link to a neighbor.
 func (n *Node) LinkMetrics(neighbor ID) *arq.Metrics {
 	if l, ok := n.links[neighbor]; ok {
-		return l.pair.Metrics
+		return l.pair.Metrics()
 	}
 	return nil
 }
 
-// Connect joins a and b with a pair of unidirectional LAMS-DLC sessions
+// Connect joins a and b with a pair of unidirectional DLC sessions
 // (data a→b and data b→a), each over its own full-duplex simulated link
 // with the given pipe configuration, and wires each session's deliveries
 // into the receiving node's network layer. It returns the two underlying
@@ -111,7 +111,7 @@ func Connect(sched *sim.Scheduler, a, b *Node, pipe channel.PipeConfig, rng *sim
 // the neighbor's network layer.
 func (n *Node) attach(neighbor *Node, link *channel.Link) {
 	ol := &outLink{}
-	ol.pair = lamsdlc.NewPair(n.sched, link, n.cfg,
+	ol.pair = n.eng.NewPair(n.sched, link,
 		func(now sim.Time, dg arq.Datagram, _ uint32) {
 			neighbor.handleArrival(now, dg)
 		},
@@ -152,7 +152,7 @@ func (n *Node) dispatch(pkt Packet) bool {
 		return false
 	}
 	dg := arq.Datagram{ID: ol.nextID, Payload: pkt.Encode()}
-	if !ol.pair.Sender.Enqueue(dg) {
+	if !ol.pair.Enqueue(dg) {
 		n.Stats.BufferFull.Inc()
 		return false
 	}
@@ -217,13 +217,13 @@ func (n *Node) Summary() string {
 // routes, connecting every adjacent pair with the given pipe configuration.
 // It returns the nodes and the data links (2(k−1) of them, in connect
 // order: forward then reverse per adjacency).
-func Line(sched *sim.Scheduler, k int, cfg lamsdlc.Config, pipe channel.PipeConfig, rng *sim.RNG) ([]*Node, []*channel.Link) {
+func Line(sched *sim.Scheduler, k int, eng arq.Engine, pipe channel.PipeConfig, rng *sim.RNG) ([]*Node, []*channel.Link) {
 	if k < 2 {
 		panic("node: line topology needs at least 2 nodes")
 	}
 	nodes := make([]*Node, k)
 	for i := range nodes {
-		nodes[i] = New(sched, ID(i), cfg)
+		nodes[i] = New(sched, ID(i), eng)
 	}
 	var links []*channel.Link
 	for i := 0; i+1 < k; i++ {

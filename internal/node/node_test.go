@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/arq"
 	"repro/internal/channel"
 	"repro/internal/lamsdlc"
 	"repro/internal/sim"
@@ -34,6 +35,8 @@ func testCfg() lamsdlc.Config {
 	return cfg
 }
 
+func testEng() arq.Engine { return arq.MustEngine("lams", testCfg()) }
+
 func testPipe() channel.PipeConfig {
 	return channel.PipeConfig{
 		RateBps: 100e6,
@@ -43,7 +46,7 @@ func testPipe() channel.PipeConfig {
 
 func TestTwoNodeExchange(t *testing.T) {
 	sched := sim.NewScheduler()
-	nodes, _ := Line(sched, 2, testCfg(), testPipe(), sim.NewRNG(1))
+	nodes, _ := Line(sched, 2, testEng(), testPipe(), sim.NewRNG(1))
 	a, b := nodes[0], nodes[1]
 	var atB, atA []Packet
 	b.OnDeliver = func(_ sim.Time, p Packet) { atB = append(atB, p) }
@@ -74,7 +77,7 @@ func TestTwoNodeExchange(t *testing.T) {
 
 func TestLocalDelivery(t *testing.T) {
 	sched := sim.NewScheduler()
-	n := New(sched, 5, testCfg())
+	n := New(sched, 5, testEng())
 	var got []Packet
 	n.OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
 	n.Send(5, []byte("loopback"))
@@ -86,7 +89,7 @@ func TestLocalDelivery(t *testing.T) {
 
 func TestNoRouteCounted(t *testing.T) {
 	sched := sim.NewScheduler()
-	n := New(sched, 0, testCfg())
+	n := New(sched, 0, testEng())
 	if n.Send(9, nil) {
 		t.Fatal("send without route accepted")
 	}
@@ -100,7 +103,7 @@ func TestThreeHopRelayLossy(t *testing.T) {
 	pipe := testPipe()
 	pipe.IModel = channel.FixedProb{P: 0.15}
 	pipe.CModel = channel.FixedProb{P: 0.03}
-	nodes, _ := Line(sched, 4, testCfg(), pipe, sim.NewRNG(2))
+	nodes, _ := Line(sched, 4, testEng(), pipe, sim.NewRNG(2))
 	dst := nodes[3]
 	var got []Packet
 	dst.OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
@@ -137,7 +140,7 @@ func TestTransitNodesDoNotResequence(t *testing.T) {
 	sched := sim.NewScheduler()
 	pipe := testPipe()
 	pipe.IModel = channel.FixedProb{P: 0.2}
-	nodes, _ := Line(sched, 3, testCfg(), pipe, sim.NewRNG(3))
+	nodes, _ := Line(sched, 3, testEng(), pipe, sim.NewRNG(3))
 	var got []Packet
 	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
 	for i := 0; i < 80; i++ {
@@ -157,7 +160,7 @@ func TestTransitNodesDoNotResequence(t *testing.T) {
 
 func TestLinkFailureCountsDrops(t *testing.T) {
 	sched := sim.NewScheduler()
-	nodes, links := Line(sched, 2, testCfg(), testPipe(), sim.NewRNG(4))
+	nodes, links := Line(sched, 2, testEng(), testPipe(), sim.NewRNG(4))
 	sched.RunFor(100 * sim.Millisecond)
 	// Kill the a->b data link; the DLC declares failure, after which the
 	// network layer refuses new packets on that adjacency.
@@ -173,7 +176,7 @@ func TestLinkFailureCountsDrops(t *testing.T) {
 
 func TestNeighborsAndSummary(t *testing.T) {
 	sched := sim.NewScheduler()
-	nodes, _ := Line(sched, 3, testCfg(), testPipe(), sim.NewRNG(5))
+	nodes, _ := Line(sched, 3, testEng(), testPipe(), sim.NewRNG(5))
 	nb := nodes[1].Neighbors()
 	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
 		t.Fatalf("neighbors = %v", nb)
@@ -195,7 +198,7 @@ func TestLinePanicsOnTooFewNodes(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	Line(sim.NewScheduler(), 1, testCfg(), testPipe(), sim.NewRNG(1))
+	Line(sim.NewScheduler(), 1, testEng(), testPipe(), sim.NewRNG(1))
 }
 
 func TestBidirectionalCrossTraffic(t *testing.T) {
@@ -205,7 +208,7 @@ func TestBidirectionalCrossTraffic(t *testing.T) {
 	pipe := testPipe()
 	pipe.IModel = channel.FixedProb{P: 0.1}
 	pipe.CModel = channel.FixedProb{P: 0.02}
-	nodes, _ := Line(sched, 3, testCfg(), pipe, sim.NewRNG(10))
+	nodes, _ := Line(sched, 3, testEng(), pipe, sim.NewRNG(10))
 	var fwd, rev []Packet
 	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { fwd = append(fwd, p) }
 	nodes[0].OnDeliver = func(_ sim.Time, p Packet) { rev = append(rev, p) }
@@ -233,7 +236,7 @@ func TestBufferFullCounted(t *testing.T) {
 	sched := sim.NewScheduler()
 	cfg := testCfg()
 	cfg.SendBufferCap = 4
-	nodes, _ := Line(sched, 2, cfg, testPipe(), sim.NewRNG(11))
+	nodes, _ := Line(sched, 2, arq.MustEngine("lams", cfg), testPipe(), sim.NewRNG(11))
 	refused := 0
 	for i := 0; i < 20; i++ {
 		if !nodes[0].Send(1, []byte{byte(i)}) {
@@ -254,7 +257,7 @@ func TestMultipleSourcesResequencedIndependently(t *testing.T) {
 	sched := sim.NewScheduler()
 	pipe := testPipe()
 	pipe.IModel = channel.FixedProb{P: 0.15}
-	nodes, _ := Line(sched, 3, testCfg(), pipe, sim.NewRNG(12))
+	nodes, _ := Line(sched, 3, testEng(), pipe, sim.NewRNG(12))
 	perSrc := map[ID][]uint64{}
 	nodes[2].OnDeliver = func(_ sim.Time, p Packet) {
 		perSrc[p.Src] = append(perSrc[p.Src], p.Seq)
@@ -282,7 +285,7 @@ func TestMultipleSourcesResequencedIndependently(t *testing.T) {
 
 func TestRingShortestPaths(t *testing.T) {
 	sched := sim.NewScheduler()
-	nodes, _ := Ring(sched, 5, testCfg(), testPipe(), sim.NewRNG(20))
+	nodes, _ := Ring(sched, 5, testEng(), testPipe(), sim.NewRNG(20))
 	var got []Packet
 	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
 	// 0 -> 2 should go clockwise through 1 (2 hops, not 3).
@@ -304,7 +307,7 @@ func TestRingShortestPaths(t *testing.T) {
 func TestRingFailoverReroutesAndRecoversStrandedTraffic(t *testing.T) {
 	sched := sim.NewScheduler()
 	pipe := testPipe()
-	nodes, links := Ring(sched, 5, testCfg(), pipe, sim.NewRNG(21))
+	nodes, links := Ring(sched, 5, testEng(), pipe, sim.NewRNG(21))
 	var got []Packet
 	nodes[2].OnDeliver = func(_ sim.Time, p Packet) { got = append(got, p) }
 
@@ -356,7 +359,7 @@ func TestRecomputeRoutesPartition(t *testing.T) {
 	// Severing both adjacencies around a node partitions it; packets to it
 	// become unroutable and are counted, not silently lost.
 	sched := sim.NewScheduler()
-	nodes, links := Ring(sched, 3, testCfg(), testPipe(), sim.NewRNG(22))
+	nodes, links := Ring(sched, 3, testEng(), testPipe(), sim.NewRNG(22))
 	sched.RunFor(50 * sim.Millisecond)
 	// Node 2's adjacencies: adjacency 1 (1<->2) links[2],links[3]; adjacency
 	// 2 (2<->0) links[4],links[5].
@@ -382,5 +385,5 @@ func TestRingPanicsTooSmall(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	Ring(sim.NewScheduler(), 2, testCfg(), testPipe(), sim.NewRNG(1))
+	Ring(sim.NewScheduler(), 2, testEng(), testPipe(), sim.NewRNG(1))
 }

@@ -3,8 +3,8 @@ package node
 import (
 	"sort"
 
+	"repro/internal/arq"
 	"repro/internal/channel"
-	"repro/internal/lamsdlc"
 	"repro/internal/sim"
 )
 
@@ -31,7 +31,7 @@ func (n *Node) reclaimFailedLinks() {
 			continue
 		}
 		ol.reclaimed = true
-		for _, dg := range ol.pair.Sender.UnreleasedDatagrams() {
+		for _, dg := range ol.pair.Reclaim() {
 			pkt, err := DecodePacket(dg.Payload)
 			if err != nil {
 				continue
@@ -123,13 +123,13 @@ func RecomputeRoutes(nodes []*Node) {
 // Ring builds a k-node ring with shortest-path routes in both directions.
 // It returns the nodes and the data links in adjacency order (forward then
 // reverse per adjacency, adjacency i joining node i and node (i+1) mod k).
-func Ring(sched *sim.Scheduler, k int, cfg lamsdlc.Config, pipe channel.PipeConfig, rng *sim.RNG) ([]*Node, []*channel.Link) {
+func Ring(sched *sim.Scheduler, k int, eng arq.Engine, pipe channel.PipeConfig, rng *sim.RNG) ([]*Node, []*channel.Link) {
 	if k < 3 {
 		panic("node: ring topology needs at least 3 nodes")
 	}
 	nodes := make([]*Node, k)
 	for i := range nodes {
-		nodes[i] = New(sched, ID(i), cfg)
+		nodes[i] = New(sched, ID(i), eng)
 	}
 	var links []*channel.Link
 	for i := 0; i < k; i++ {

@@ -1,4 +1,4 @@
-// Package session manages LAMS-DLC across the short link lifetimes that
+// Package session manages an ARQ engine across the short link lifetimes that
 // define the LAMS environment (§1–2): a crosslink exists only while two
 // satellites see each other (minutes), every pass begins with a retargeting
 // overhead while the laser terminals acquire pointing, and traffic that a
@@ -7,9 +7,10 @@
 //
 // The Manager owns a queue of outstanding datagrams and a sequence of
 // passes (visibility windows). For each pass it builds a fresh link and a
-// fresh LAMS-DLC pair (protocol state does not survive retargeting), sets
-// the pair's LinkLifetime to the remaining pass, feeds the queue, and at
-// pass end reclaims the sender's unreleased datagrams for the next pass.
+// fresh endpoint pair from its configured engine (protocol state does not
+// survive retargeting; any registered arq engine works), sets the engine's
+// link lifetime to the remaining pass, feeds the queue, and at pass end
+// reclaims the sender's unreleased datagrams for the next pass.
 // Deliveries from all passes funnel through one resequencer, so duplicates
 // created by pass-boundary retransmission are suppressed and the
 // application sees each datagram exactly once, in order.
@@ -20,7 +21,6 @@ import (
 
 	"repro/internal/arq"
 	"repro/internal/channel"
-	"repro/internal/lamsdlc"
 	"repro/internal/resequence"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -40,9 +40,9 @@ type LinkFactory func(i int, p Pass) *channel.Link
 
 // Config parameterizes the Manager.
 type Config struct {
-	// Protocol is the per-pass LAMS-DLC configuration; LinkLifetime is
-	// overwritten per pass.
-	Protocol lamsdlc.Config
+	// Engine is the per-pass ARQ engine (protocol + configuration). Its
+	// link lifetime is overwritten per pass via WithLinkLifetime.
+	Engine arq.Engine
 	// Retarget is the pointing-acquisition overhead at the start of every
 	// pass during which the link cannot carry traffic (§1: "a large
 	// retargeting overhead which occupies a significant portion of the
@@ -68,7 +68,7 @@ type Manager struct {
 
 	queue  []arq.Datagram // waiting for a pass
 	nextID uint64
-	cur    *lamsdlc.Pair
+	cur    arq.Pair
 	curIdx int
 
 	reseq *resequence.Resequencer
@@ -81,7 +81,7 @@ type Manager struct {
 // New schedules a manager over the given passes. Passes must be sorted and
 // non-overlapping.
 func New(sched *sim.Scheduler, cfg Config, passes []Pass, factory LinkFactory) *Manager {
-	if err := cfg.Protocol.Validate(); err != nil {
+	if err := cfg.Engine.Validate(); err != nil {
 		panic(err)
 	}
 	if cfg.Retarget < 0 {
@@ -124,7 +124,7 @@ func (m *Manager) Send(payload []byte) uint64 {
 	id := m.nextID
 	m.nextID++
 	dg := arq.Datagram{ID: id, Payload: payload}
-	if m.cur != nil && m.cur.Sender.Enqueue(dg) {
+	if m.cur != nil && m.cur.Enqueue(dg) {
 		return id
 	}
 	m.queue = append(m.queue, dg)
@@ -148,9 +148,8 @@ func (m *Manager) CurrentPass() int {
 
 func (m *Manager) startPass(i int, p Pass) {
 	link := m.factory(i, p)
-	cfg := m.cfg.Protocol
-	cfg.LinkLifetime = p.End.Sub(m.sched.Now())
-	pair := lamsdlc.NewPair(m.sched, link, cfg,
+	eng := m.cfg.Engine.WithLinkLifetime(p.End.Sub(m.sched.Now()))
+	pair := eng.NewPair(m.sched, link,
 		func(now sim.Time, dg arq.Datagram, _ uint32) {
 			// Cross-pass duplicate suppression + ordering.
 			before := m.reseq.Stats.Duplicates.Value()
@@ -168,7 +167,7 @@ func (m *Manager) startPass(i int, p Pass) {
 	q := m.queue
 	m.queue = nil
 	for _, dg := range q {
-		if !pair.Sender.Enqueue(dg) {
+		if !pair.Enqueue(dg) {
 			m.queue = append(m.queue, dg)
 		}
 	}
@@ -181,12 +180,11 @@ func (m *Manager) endPass(i int) {
 	pair := m.cur
 	m.cur = nil
 	// Stop the protocol: the beam is gone. Unreleased datagrams (never
-	// positively covered by a checkpoint) carry over; some may already
-	// have arrived — the resequencer absorbs the duplicates.
-	pair.Receiver.Stop()
-	pair.Sender.Shutdown()
-	pair.Link.Fail()
-	carried := pair.Sender.UnreleasedDatagrams()
+	// positively acknowledged) carry over; some may already have arrived —
+	// the resequencer absorbs the duplicates.
+	pair.Stop()
+	pair.Link().Fail()
+	carried := pair.Reclaim()
 	m.Stats.CarriedOver.Addn(uint64(len(carried)))
 	// Carried datagrams go to the front: they are the oldest.
 	m.queue = append(append([]arq.Datagram(nil), carried...), m.queue...)

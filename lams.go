@@ -169,9 +169,11 @@ func (s *Simulation) NewLAMSPair(link *Link, cfg Config, deliver DeliverFunc, on
 	return p
 }
 
-// NewHDLCPair wires a baseline session over link and starts it.
-func (s *Simulation) NewHDLCPair(link *Link, cfg HDLCConfig, deliver DeliverFunc) *HDLCPair {
-	p := hdlc.NewPair(s.sched, link, cfg, deliver)
+// NewHDLCPair wires a baseline session over link and starts it. onFailure
+// (may be nil) fires if the sender exhausts its N2 retry count
+// (HDLCConfig.MaxTimeouts), matching NewLAMSPair's signature.
+func (s *Simulation) NewHDLCPair(link *Link, cfg HDLCConfig, deliver DeliverFunc, onFailure FailureFunc) *HDLCPair {
+	p := hdlc.NewPair(s.sched, link, cfg, deliver, onFailure)
 	p.Start()
 	return p
 }

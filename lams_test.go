@@ -41,7 +41,7 @@ func TestFacadeHDLC(t *testing.T) {
 	var order []uint64
 	pair := s.NewHDLCPair(link, HDLCDefaultsFor(lp), func(_ Time, dg Datagram, _ uint32) {
 		order = append(order, dg.ID)
-	})
+	}, nil)
 	for i := 0; i < 50; i++ {
 		pair.Sender.Enqueue(Datagram{ID: uint64(i), Payload: make([]byte, 512)})
 	}
@@ -112,7 +112,7 @@ func TestSimulationDeterminism(t *testing.T) {
 			pair.Sender.Enqueue(Datagram{ID: uint64(i), Payload: make([]byte, 1024)})
 		}
 		s.RunFor(5 * time.Second)
-		return count + pair.Metrics.Retransmissions.Value()<<32
+		return count + pair.Metrics().Retransmissions.Value()<<32
 	}
 	if run() != run() {
 		t.Fatal("same seed produced different runs")
