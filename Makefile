@@ -12,9 +12,26 @@ test:
 # the test binary so a regression that only bites the benchmark paths fails
 # CI instead of the next perf investigation.
 .PHONY: ci
-ci: test cover faultmatrix lint
+ci: test cover faultmatrix lint allocsmoke
 	go test -race ./...
 	go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchtime 100x -benchmem
+
+# Allocation-budget smoke (ISSUE 6): the E4 sweep must stay inside the
+# allocs/op budget pinned in BENCH_PR6.json (229483 before the per-run
+# arena/pool work, ≤ 5737 after — the ≥40x bar with headroom over the
+# ~2.3k measured). Runs the real benchmark body, so a pooling regression
+# fails CI instead of the next perf investigation.
+E4_ALLOC_BUDGET := 5737
+.PHONY: allocsmoke
+allocsmoke:
+	@out=$$(go test . -run xxx -bench BenchmarkE4ThroughputVsTraffic -benchtime 100x -benchmem); \
+	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
+	allocs=$$(echo "$$out" | awk '$$1 ~ /^BenchmarkE4ThroughputVsTraffic/ { for (i = 1; i <= NF; i++) if ($$i == "allocs/op") print $$(i-1) }'); \
+	if [ -z "$$allocs" ]; then echo "allocsmoke: no allocs/op in bench output"; exit 1; fi; \
+	if [ "$$allocs" -gt $(E4_ALLOC_BUDGET) ]; then \
+		echo "allocsmoke: E4 allocs/op $$allocs exceeds budget $(E4_ALLOC_BUDGET)"; exit 1; \
+	fi; \
+	echo "allocsmoke: E4 allocs/op $$allocs within budget $(E4_ALLOC_BUDGET)"
 
 # Static analysis: vet plus staticcheck, version-pinned through go run so
 # no tool install step exists. Offline environments (module proxy
@@ -36,11 +53,12 @@ lint:
 # Recovery-path gate: the §3.2 invariant checker over the seed-pinned fault
 # matrix (outage, half-duplex blackout, storm, burst, skew, handover, and
 # the combined schedule, seeds 1–5), plus the workers-1-vs-8 determinism
-# pin on the faulted batch. Every PR touching recovery, timers, or the
-# channel runs its changes through this.
+# pins on the faulted batch — including the repeated-config batch that
+# catches state leaking across runs through the ISSUE 6 pools. Every PR
+# touching recovery, timers, the channel, or pooling runs through this.
 .PHONY: faultmatrix
 faultmatrix:
-	go test ./internal/faults -count=1 -run 'TestFaultMatrix|TestFaultDeterminismAcrossWorkers'
+	go test ./internal/faults -count=1 -run 'TestFaultMatrix|TestFaultDeterminism'
 
 # Aggregate statement coverage across all packages. The per-function
 # breakdown lands in coverage.txt; the baseline is recorded in
@@ -52,8 +70,10 @@ cover:
 	@tail -1 coverage.txt
 
 # Micro-benchmarks for the hot paths the allocation diet targets. The
-# combined output also lands in BENCH_PR3.json (via cmd/benchjson) as the
-# machine-readable snapshot the perf table in EXPERIMENTS.md cites.
+# combined output lands in BENCH_PR6.json (via cmd/benchjson) as the
+# machine-readable snapshot the perf table in EXPERIMENTS.md cites;
+# BENCH_PR3.json is the frozen pre-arena baseline the table compares
+# against and is never rewritten.
 .PHONY: bench
 bench:
 	{ go test ./internal/frame -run xxx -bench 'BenchmarkEncodeI|BenchmarkDecode' -benchmem; \
@@ -61,4 +81,4 @@ bench:
 	  go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchmem; \
 	  go test ./internal/channel -run xxx -bench BenchmarkPipeSendDeliver -benchmem; \
 	  go test . -run xxx -bench 'BenchmarkE4|BenchmarkLAMSTransfer' -benchtime 1x -benchmem; } \
-	| go run ./cmd/benchjson -o BENCH_PR3.json
+	| go run ./cmd/benchjson -o BENCH_PR6.json

@@ -2,7 +2,7 @@
 // machine-readable JSON map of benchmark name to measured cost
 // (ns/op, B/op, allocs/op, and MB/s where reported). It echoes every input
 // line to stdout unchanged so it can terminate a pipeline without hiding
-// the run, and writes the JSON snapshot to -o (BENCH_PR3.json by default)
+// the run, and writes the JSON snapshot to -o (BENCH_PR6.json by default)
 // for commit alongside the analysis in EXPERIMENTS.md.
 package main
 
@@ -24,7 +24,7 @@ type record struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "path of the JSON snapshot to write")
+	out := flag.String("o", "BENCH_PR6.json", "path of the JSON snapshot to write")
 	flag.Parse()
 
 	results := map[string]record{}

@@ -13,6 +13,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/arq"
@@ -197,6 +198,19 @@ func (c RunConfig) pipe() channel.PipeConfig {
 	}
 }
 
+// runScratch is the per-run mutable state a worker recycles across runs:
+// the delivery-count map and the payload arena. RunMany at W workers keeps
+// at most W scratches warm instead of allocating ~N map entries plus
+// N×PayloadBytes per run. Reuse is safe because nothing in RunResult
+// references either — the map is read out into counts and every payload
+// consumer (checker, metrics, taps) retains IDs and sizes, not bytes.
+type runScratch struct {
+	got   map[uint64]int
+	arena workload.Arena
+}
+
+var scratchPool = sync.Pool{New: func() any { return &runScratch{got: make(map[uint64]int)} }}
+
 // Run executes the configured scenario to completion (all N datagrams
 // delivered) or to the horizon, and returns the measurements.
 func Run(c RunConfig) RunResult {
@@ -223,7 +237,8 @@ func Run(c RunConfig) RunResult {
 		inj.AttachLink(link)
 	}
 
-	got := make(map[uint64]int, c.N)
+	sc := scratchPool.Get().(*runScratch)
+	got := sc.got
 	var lastDelivery sim.Time
 	deliver := func(now sim.Time, dg arq.Datagram, _ uint32) {
 		got[dg.ID]++
@@ -285,14 +300,16 @@ func Run(c RunConfig) RunResult {
 		finalRate = rr.RateFraction
 	}
 
+	var gen *workload.Generator
 	switch {
 	case c.OfferInterval > 0 && c.Poisson:
-		workload.NewPoisson(sched, rng.Split(), enqueue, c.OfferInterval, c.PayloadBytes, c.N)
+		gen = workload.NewPoisson(sched, rng.Split(), enqueue, c.OfferInterval, c.PayloadBytes, c.N)
 	case c.OfferInterval > 0:
-		workload.NewConstantRate(sched, enqueue, c.OfferInterval, c.PayloadBytes, c.N)
+		gen = workload.NewConstantRate(sched, enqueue, c.OfferInterval, c.PayloadBytes, c.N)
 	default:
-		workload.NewSaturating(sched, enqueue, c.Icp, c.PayloadBytes, c.N)
+		gen = workload.NewSaturating(sched, enqueue, c.Icp, c.PayloadBytes, c.N)
 	}
+	gen.UseArena(&sc.arena)
 
 	sched.RunUntil(sim.Time(c.Horizon))
 
@@ -335,6 +352,16 @@ func Run(c RunConfig) RunResult {
 		finish(&res)
 	}
 	res.Snapshot = c.Metrics.Snapshot()
+	// The result is fully extracted; recycle the scratch. Everything built
+	// from the arena (payloads, frames in the dead scheduler) is
+	// unreachable once this frame returns, and the next run re-zeroes
+	// each allocation.
+	clear(sc.got)
+	sc.arena.Reset()
+	scratchPool.Put(sc)
+	// The scheduler is done: donate its retired-event freelist to the
+	// process-wide pool so the next run's scheduler starts warm.
+	sched.Recycle()
 	return res
 }
 

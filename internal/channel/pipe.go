@@ -13,10 +13,13 @@ import (
 // Handler consumes frames arriving at the far end of a pipe.
 //
 // Ownership: an information frame (I, HDLC-I) becomes the handler's — it may
-// retain the *Frame and its Payload indefinitely. Control frames and frames
-// marked Corrupted are recycled by the pipe as soon as the handler returns;
-// a handler that wants to keep one must Clone it. Every protocol entity in
-// this repository consumes control frames within the callback.
+// retain the *Frame and its Payload indefinitely, and SHOULD return it with
+// frame.Put once done with the header (the Payload may outlive the frame:
+// Put drops the reference, it does not scrub the bytes). Control frames and
+// frames marked Corrupted are recycled by the pipe as soon as the handler
+// returns; a handler must never Put one of those, and one that wants to
+// keep one must Clone it. Every protocol entity in this repository consumes
+// control frames within the callback.
 type Handler func(now sim.Time, f *frame.Frame)
 
 // DelayFn returns the one-way propagation delay for a frame departing the
@@ -94,6 +97,11 @@ type Pipe struct {
 	lastArrival sim.Time // FIFO watermark
 	down        bool
 
+	// deliverFn is p.deliver bound once at construction, so every arrival
+	// can be scheduled through ScheduleArgDetached with the in-flight
+	// frame as the argument — no per-send closure.
+	deliverFn func(any)
+
 	// Registry-backed instruments (nil without PipeConfig.Metrics).
 	mSent      *metrics.Counter
 	mDelivered *metrics.Counter
@@ -124,6 +132,7 @@ func NewPipe(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Pipe {
 		cfg.CModel = Perfect{}
 	}
 	p := &Pipe{sched: sched, cfg: cfg, rng: rng}
+	p.deliverFn = p.deliver
 	p.mSent = cfg.Metrics.Counter("channel_frames_sent_total")
 	p.mDelivered = cfg.Metrics.Counter("channel_frames_delivered_total")
 	p.mCorrupted = cfg.Metrics.Counter("channel_frames_corrupted_total")
@@ -175,18 +184,22 @@ func (p *Pipe) QueueingDelay() sim.Duration {
 // is delivered to the handler. Send never blocks; back-to-back sends queue
 // on the wire, which is how the protocols' send pacing is modelled.
 //
-// The in-flight copy is shallow: header fields are copied (so a
-// retransmitting protocol may keep renumbering or re-flagging its own
-// frame), but Payload and NAKs alias the caller's slices — the caller must
-// not mutate those bytes after Send. Both protocols here satisfy this by
-// construction: retransmissions build fresh frames around an immutable
-// datagram payload, and NAK lists are born at Send time. Skipping the deep
-// copy is what keeps a multi-gigabyte sweep from spending its time in
-// memmove: at 1 KiB payloads the clone used to dominate the per-frame cost.
+// The in-flight copy is shallow for the Payload: header fields are copied
+// (so a retransmitting protocol may keep renumbering or re-flagging its own
+// frame), but Payload aliases the caller's slice — the caller must not
+// mutate those bytes after Send. Both protocols here satisfy this by
+// construction: retransmissions build frames around an immutable datagram
+// payload. Skipping the payload copy is what keeps a multi-gigabyte sweep
+// from spending its time in memmove: at 1 KiB payloads the clone used to
+// dominate the per-frame cost. The NAK list, by contrast, IS copied — into
+// capacity the frame pool retains — so a checkpoint-emitting receiver may
+// reuse its NAK scratch buffer across sends.
 func (p *Pipe) Send(f *frame.Frame) {
 	now := p.sched.Now()
 	g := frame.Get()
+	naks := g.NAKs
 	*g = *f
+	g.NAKs = append(naks[:0], f.NAKs...)
 	p.Stats.FramesSent.Inc()
 	p.Stats.BitsSent.Addn(uint64(g.Bits()))
 	p.mSent.Inc()
@@ -238,29 +251,36 @@ func (p *Pipe) Send(f *frame.Frame) {
 		arrival = p.lastArrival + 1
 	}
 	p.lastArrival = arrival
-	p.sched.ScheduleDetached(arrival, func() {
-		if p.down || p.handler == nil {
-			p.Stats.FramesLost.Inc()
-			p.mLost.Inc()
-			if p.cfg.Tap != nil {
-				p.cfg.Tap(p.sched.Now(), "drop", g)
-			}
-			frame.Put(g)
-			return
-		}
-		p.Stats.FramesDelivered.Inc()
-		p.mDelivered.Inc()
+	p.sched.ScheduleArgDetached(arrival, p.deliverFn, g)
+}
+
+// deliver hands an arrived in-flight frame to the handler (or counts it
+// lost). It is the arrival-event callback, shared across all sends and
+// invoked with the in-flight frame as the argument.
+func (p *Pipe) deliver(v any) {
+	g := v.(*frame.Frame)
+	if p.down || p.handler == nil {
+		p.Stats.FramesLost.Inc()
+		p.mLost.Inc()
 		if p.cfg.Tap != nil {
-			p.cfg.Tap(p.sched.Now(), "rx", g)
+			p.cfg.Tap(p.sched.Now(), "drop", g)
 		}
-		p.handler(p.sched.Now(), g)
-		// Control and corrupted frames are consumed inside the handler
-		// (see Handler); recycle them. Information frames now belong to
-		// the receiver.
-		if g.Kind.Control() || g.Corrupted {
-			frame.Put(g)
-		}
-	})
+		frame.Put(g)
+		return
+	}
+	p.Stats.FramesDelivered.Inc()
+	p.mDelivered.Inc()
+	if p.cfg.Tap != nil {
+		p.cfg.Tap(p.sched.Now(), "rx", g)
+	}
+	// Decide recycling before the handler runs: an information-frame
+	// handler may Put the frame itself (see Handler), and reading g
+	// afterwards would race with its reuse.
+	recycle := g.Kind.Control() || g.Corrupted
+	p.handler(p.sched.Now(), g)
+	if recycle {
+		frame.Put(g)
+	}
 }
 
 // SetDown marks the pipe dead (true) or alive (false). Frames already in

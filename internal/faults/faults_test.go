@@ -59,19 +59,19 @@ func TestParseSpecGrammar(t *testing.T) {
 
 func TestParseSpecRejects(t *testing.T) {
 	bad := []string{
-		"nonsense@1s",                 // unknown kind
-		"outage",                      // missing @start
-		"outage@-1s",                  // negative start
-		"outage@1s+0s",                // non-positive duration
-		"half@1s:dir=both",            // half needs a single direction
-		"half@1s:dir=sideways",        // unknown direction
-		"storm@1s:period=0s",          // non-positive period
-		"storm@1s:naks=-1",            // negative NAK count
-		"skew@1s:factor=0",            // non-positive factor
-		"outage@1s:factor=2",          // parameter on wrong kind
-		"burst@1s:len=1ms,gap=oops",   // unparsable duration
-		"storm@1s:period",             // parameter without '='
-		"outage@banana",               // unparsable start
+		"nonsense@1s",               // unknown kind
+		"outage",                    // missing @start
+		"outage@-1s",                // negative start
+		"outage@1s+0s",              // non-positive duration
+		"half@1s:dir=both",          // half needs a single direction
+		"half@1s:dir=sideways",      // unknown direction
+		"storm@1s:period=0s",        // non-positive period
+		"storm@1s:naks=-1",          // negative NAK count
+		"skew@1s:factor=0",          // non-positive factor
+		"outage@1s:factor=2",        // parameter on wrong kind
+		"burst@1s:len=1ms,gap=oops", // unparsable duration
+		"storm@1s:period",           // parameter without '='
+		"outage@banana",             // unparsable start
 	}
 	for _, text := range bad {
 		if _, err := faults.ParseSpec(text); err == nil {
@@ -179,6 +179,44 @@ func TestFaultDeterminismAcrossWorkers(t *testing.T) {
 	for i := range serial {
 		if len(serial[i].Violations) != 0 {
 			t.Fatalf("seed %d: violations: %v", cfgs[i].Seed, serial[i].Violations)
+		}
+	}
+}
+
+// TestFaultDeterminismWithPoolReuse extends the worker-count pin to the
+// pooled hot path (ISSUE 6): the batch interleaves three fault schedules and
+// then repeats the whole block, so every config runs again on a worker whose
+// arenas, entry pools, and event pools are warm from a *different*
+// predecessor. Any state leaking through a pool shows up as a mismatch
+// between a config's first and second execution, or between worker counts.
+func TestFaultDeterminismWithPoolReuse(t *testing.T) {
+	specs := []string{
+		comboSpec,
+		"burst@150ms+200ms:len=2ms,gap=5ms",
+		"storm@150ms+200ms:period=2ms,naks=6,serial=1",
+	}
+	var block []bench.RunConfig
+	for seed := uint64(1); seed <= 2; seed++ {
+		for _, spec := range specs {
+			block = append(block, matrixConfig(t, spec, seed))
+		}
+	}
+	cfgs := append(append([]bench.RunConfig{}, block...), block...)
+
+	var serial, parallel []bench.RunResult
+	bench.SetWorkers(1)
+	serial = bench.RunMany(cfgs)
+	bench.SetWorkers(8)
+	parallel = bench.RunMany(cfgs)
+	bench.SetWorkers(0)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("faulted pooled runs differ across worker counts")
+	}
+	n := len(block)
+	for i := range block {
+		if !reflect.DeepEqual(serial[i], serial[i+n]) {
+			t.Errorf("config %d (spec %q, seed %d): first and repeat execution differ — pooled state leaked across runs",
+				i, specs[i%len(specs)], cfgs[i].Seed)
 		}
 	}
 }

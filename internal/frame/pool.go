@@ -9,15 +9,21 @@ import "sync"
 // the parallel experiment engine's concurrent runs.
 var pool = sync.Pool{New: func() any { return new(Frame) }}
 
-// Get returns a zeroed Frame from the package pool.
+// Get returns a Frame from the package pool. All fields are zero except
+// NAKs, which may be a non-nil empty slice whose capacity the caller may
+// append into (Pipe.Send's checkpoint copy relies on this).
 func Get() *Frame { return pool.Get().(*Frame) }
 
-// Put resets f and returns it to the pool. The reset drops the Payload and
-// NAKs references rather than retaining their capacity: pooled frames alias
+// Put resets f and returns it to the pool. The reset drops the Payload
+// reference rather than retaining its capacity: pooled payloads alias
 // caller-owned slices (see Pipe.Send), and reusing that memory for a later
-// frame would scribble over live data. The caller must not touch f after
-// Put, and must not Put a frame any other component still references.
+// frame would scribble over live data. NAKs capacity IS retained: every
+// NAK list entering the pool is a pool-owned copy made by Pipe.Send, so
+// recycling it is safe and keeps checkpoint traffic allocation-free. The
+// caller must not touch f after Put, and must not Put a frame any other
+// component still references.
 func Put(f *Frame) {
-	*f = Frame{}
+	naks := f.NAKs[:0]
+	*f = Frame{NAKs: naks}
 	pool.Put(f)
 }

@@ -1,8 +1,6 @@
 package hdlc
 
 import (
-	"sort"
-
 	"repro/internal/arq"
 	"repro/internal/frame"
 	"repro/internal/sim"
@@ -26,6 +24,12 @@ type Receiver struct {
 	rejSent  bool // GBN: one REJ outstanding per gap
 
 	deliveredInWindow int // RR cadence: acknowledge every window's worth
+
+	// Recycled scratch (ISSUE 6): outbound supervisory frames are built
+	// in ctrlf (the Wire contract copies on Send) and the SREJ gap scan
+	// reuses missBuf's backing array.
+	ctrlf   frame.Frame
+	missBuf []uint32
 
 	deliver arq.DeliverFunc
 }
@@ -67,13 +71,17 @@ func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
 	if f.Kind != frame.KindHDLCI {
 		return
 	}
+	// The frame may be recycled (or buffered) inside the branches below;
+	// read the poll bit first.
+	final := f.Final
 	switch {
 	case f.Seq < r.recvBase:
 		// Duplicate of a delivered frame (e.g. retransmitted after its
 		// RR was lost). Discard; if it polls, answer so the sender can
 		// slide its window.
 		r.im.dups.Inc()
-		if f.Final {
+		frame.Put(f)
+		if final {
 			r.sendRR(true)
 		}
 		return
@@ -83,7 +91,7 @@ func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
 		// Out of order: a gap [recvBase, f.Seq) exists.
 		r.onGap(f)
 	}
-	if f.Final {
+	if final {
 		r.sendRR(true)
 	}
 }
@@ -91,6 +99,7 @@ func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
 // accept delivers the in-order frame and any buffered successors.
 func (r *Receiver) accept(now sim.Time, f *frame.Frame) {
 	r.deliverUp(now, f)
+	frame.Put(f)
 	r.recvBase++
 	for {
 		g, ok := r.held[r.recvBase]
@@ -99,6 +108,7 @@ func (r *Receiver) accept(now sim.Time, f *frame.Frame) {
 		}
 		delete(r.held, r.recvBase)
 		r.deliverUp(now, g)
+		frame.Put(g)
 		r.recvBase++
 	}
 	r.rejSent = false
@@ -121,6 +131,7 @@ func (r *Receiver) onGap(f *frame.Frame) {
 	switch r.cfg.Mode {
 	case SelectiveRepeat:
 		if _, dup := r.held[f.Seq]; dup {
+			frame.Put(f)
 			return // duplicate of a held frame
 		}
 		// Information frames belong to the handler (channel.Handler), so
@@ -128,26 +139,30 @@ func (r *Receiver) onGap(f *frame.Frame) {
 		r.held[f.Seq] = f
 		r.noteRecvOccupancy()
 		// SREJ each newly discovered missing frame exactly once; the
-		// sender's timeout covers SREJ losses.
-		var missing []uint32
+		// sender's timeout covers SREJ losses. The scan ascends, so the
+		// list is born sorted.
+		missing := r.missBuf[:0]
 		for seq := r.recvBase; seq < f.Seq; seq++ {
 			if _, have := r.held[seq]; !have && !r.srejSent[seq] {
 				missing = append(missing, seq)
 			}
 		}
-		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		r.missBuf = missing
 		for _, seq := range missing {
 			r.srejSent[seq] = true
-			r.wire.Send(&frame.Frame{Kind: frame.KindSREJ, Ack: r.recvBase, Seq: seq})
+			r.ctrlf = frame.Frame{Kind: frame.KindSREJ, Ack: r.recvBase, Seq: seq}
+			r.wire.Send(&r.ctrlf)
 			r.m.NAKsSent.Inc()
 			r.m.ControlSent.Inc()
 			r.im.srejSent.Inc()
 		}
 	case GoBackN:
 		// Discard and demand a back-up, once per gap episode.
+		frame.Put(f)
 		if !r.rejSent {
 			r.rejSent = true
-			r.wire.Send(&frame.Frame{Kind: frame.KindREJ, Ack: r.recvBase, Seq: r.recvBase})
+			r.ctrlf = frame.Frame{Kind: frame.KindREJ, Ack: r.recvBase, Seq: r.recvBase}
+			r.wire.Send(&r.ctrlf)
 			r.m.NAKsSent.Inc()
 			r.m.ControlSent.Inc()
 			r.im.rejSent.Inc()
@@ -166,7 +181,8 @@ func (r *Receiver) deliverUp(now sim.Time, f *frame.Frame) {
 }
 
 func (r *Receiver) sendRR(final bool) {
-	r.wire.Send(&frame.Frame{Kind: frame.KindRR, Ack: r.recvBase, Final: final})
+	r.ctrlf = frame.Frame{Kind: frame.KindRR, Ack: r.recvBase, Final: final}
+	r.wire.Send(&r.ctrlf)
 	r.m.ControlSent.Inc()
 	r.im.rrSent.Inc()
 	r.deliveredInWindow = 0

@@ -2,11 +2,17 @@ package hdlc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arq"
 	"repro/internal/frame"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
+
+// hentryPool recycles window entries across sender lifetimes (see the
+// LAMS-DLC entryPool for the rationale). Entries are zeroed before Put.
+var hentryPool = sync.Pool{New: func() any { return new(hentry) }}
 
 // hentry is one outstanding I-frame. HDLC never renumbers, so the key is
 // stable for the frame's lifetime.
@@ -27,10 +33,18 @@ type Sender struct {
 	m     *arq.Metrics
 	im    senderInstr
 
-	queue    []arq.Datagram
+	queue    ring.Ring[arq.Datagram]
 	window   []*hentry // outstanding, ascending seq
 	sendBase uint32
 	nextSeq  uint32
+
+	// Recycled run-scoped state, mirroring the LAMS-DLC sender (ISSUE 6):
+	// window entries return to hentryPool on release, and outbound frames
+	// are built in a reusable scratch (the Wire contract copies on Send).
+	// pacef is a separate scratch for the TxTime pacing probes so they
+	// cannot disturb an in-flight txf between Send and TxTime.
+	txf   frame.Frame
+	pacef frame.Frame
 
 	pumpTimer *sim.Timer
 	pumpArmed bool
@@ -89,13 +103,13 @@ func (s *Sender) Start() {}
 
 // Outstanding returns window occupancy plus queued backlog — the sending
 // buffer whose unbounded growth under sustained load §4 proves.
-func (s *Sender) Outstanding() int { return len(s.window) + len(s.queue) }
+func (s *Sender) Outstanding() int { return len(s.window) + s.queue.Len() }
 
 // Unacked returns the number of in-window frames.
 func (s *Sender) Unacked() int { return len(s.window) }
 
 // QueuedDatagrams returns the untransmitted backlog.
-func (s *Sender) QueuedDatagrams() int { return len(s.queue) }
+func (s *Sender) QueuedDatagrams() int { return s.queue.Len() }
 
 // SendBase exposes the lowest unacknowledged sequence number.
 func (s *Sender) SendBase() uint32 { return s.sendBase }
@@ -109,7 +123,7 @@ func (s *Sender) Enqueue(dg arq.Datagram) bool {
 		return false
 	}
 	dg.EnqueuedAt = s.sched.Now()
-	s.queue = append(s.queue, dg)
+	s.queue.PushBack(dg)
 	s.m.Submitted.Inc()
 	s.noteOccupancy()
 	s.schedulePump(0)
@@ -133,28 +147,43 @@ func (s *Sender) pump() {
 		s.schedulePump(s.wireFree.Sub(now))
 		return
 	}
-	if len(s.queue) == 0 || uint32(len(s.window)) >= uint32(s.cfg.WindowSize) {
+	if s.queue.Len() == 0 || uint32(len(s.window)) >= uint32(s.cfg.WindowSize) {
 		s.maybeStutter()
 		return
 	}
-	dg := s.queue[0]
-	s.queue = s.queue[1:]
-	e := &hentry{dg: dg, seq: s.nextSeq, firstTx: now}
+	dg := s.queue.PopFront()
+	e := s.newEntry()
+	e.dg, e.seq, e.firstTx = dg, s.nextSeq, now
 	s.nextSeq++
 	s.window = append(s.window, e)
 	// The frame that fills the window carries the P bit: ask the receiver
 	// for an RR checkpoint so the window can turn over.
-	final := uint32(len(s.window)) == uint32(s.cfg.WindowSize) || len(s.queue) == 0
+	final := uint32(len(s.window)) == uint32(s.cfg.WindowSize) || s.queue.Len() == 0
 	s.transmit(e, final, false, 0)
 	if s.probe != nil && s.probe.FirstTransmission != nil {
 		s.probe.FirstTransmission(now, e.seq, e.dg.ID)
 	}
 	s.noteOccupancy()
-	tx := s.wire.TxTime(frame.NewI(0, 0, dg.Payload))
+	// Historical pacing quirk, kept bit-for-bit: the pacing probe is a
+	// plain I-frame header (frame.NewI sizing), not an HDLC-I one.
+	s.pacef = frame.Frame{Kind: frame.KindI, Payload: dg.Payload}
+	tx := s.wire.TxTime(&s.pacef)
 	s.wireFree = now.Add(tx)
-	if len(s.queue) > 0 {
+	if s.queue.Len() > 0 {
 		s.schedulePump(tx)
 	}
+}
+
+// newEntry fetches a zeroed window entry from the pool.
+func (s *Sender) newEntry() *hentry {
+	return hentryPool.Get().(*hentry)
+}
+
+// freeEntry recycles a released window entry. The entry is zeroed before Put
+// so the pool never pins payload memory and Get hands out clean objects.
+func (s *Sender) freeEntry(e *hentry) {
+	*e = hentry{}
+	hentryPool.Put(e)
 }
 
 // transmit sends (or resends) e and restarts T1 (the single HDLC
@@ -162,7 +191,7 @@ func (s *Sender) pump() {
 // it is ignored when retx is false (HDLC keeps the original number, so the
 // probe sees oldSeq == newSeq).
 func (s *Sender) transmit(e *hentry, final, retx bool, cause arq.RetxCause) {
-	f := &frame.Frame{
+	s.txf = frame.Frame{
 		Kind:       frame.KindHDLCI,
 		Seq:        e.seq,
 		Payload:    e.dg.Payload,
@@ -170,7 +199,7 @@ func (s *Sender) transmit(e *hentry, final, retx bool, cause arq.RetxCause) {
 		Final:      final,
 		EnqueuedNS: int64(e.dg.EnqueuedAt),
 	}
-	s.wire.Send(f)
+	s.wire.Send(&s.txf)
 	if retx {
 		s.m.Retransmissions.Inc()
 		s.im.retx.Inc()
@@ -216,7 +245,7 @@ func (s *Sender) stutter() {
 		return
 	}
 	// New traffic has priority: if a frame could be sent normally, yield.
-	if len(s.queue) > 0 && uint32(len(s.window)) < uint32(s.cfg.WindowSize) {
+	if s.queue.Len() > 0 && uint32(len(s.window)) < uint32(s.cfg.WindowSize) {
 		s.schedulePump(0)
 		return
 	}
@@ -228,7 +257,8 @@ func (s *Sender) stutter() {
 	s.stutters++
 	s.im.stutterRetx.Inc()
 	s.transmit(e, s.stutterIdx == len(s.window), true, arq.RetxStutter)
-	tx := s.wire.TxTime(&frame.Frame{Kind: frame.KindHDLCI, Payload: e.dg.Payload})
+	s.pacef = frame.Frame{Kind: frame.KindHDLCI, Payload: e.dg.Payload}
+	tx := s.wire.TxTime(&s.pacef)
 	s.wireFree = s.sched.Now().Add(tx)
 	s.stutterTimer.Start(tx)
 }
@@ -290,11 +320,13 @@ func (s *Sender) Shutdown() {
 // acknowledged — in-window frames in sequence order, then the untransmitted
 // queue — so a higher layer can carry them into the next pass.
 func (s *Sender) UnreleasedDatagrams() []arq.Datagram {
-	out := make([]arq.Datagram, 0, len(s.window)+len(s.queue))
+	out := make([]arq.Datagram, 0, len(s.window)+s.queue.Len())
 	for _, e := range s.window {
 		out = append(out, e.dg)
 	}
-	out = append(out, s.queue...)
+	for i := 0; i < s.queue.Len(); i++ {
+		out = append(out, s.queue.At(i))
+	}
 	return out
 }
 
@@ -327,7 +359,7 @@ func (s *Sender) handleRR(now sim.Time, f *frame.Frame) {
 		return // stale
 	}
 	s.im.rrHeard.Inc()
-	var keep []*hentry
+	w := 0
 	for _, e := range s.window {
 		if e.seq < f.Ack {
 			s.m.HoldingTime.Add(float64(now.Sub(e.firstTx)))
@@ -336,11 +368,16 @@ func (s *Sender) handleRR(now sim.Time, f *frame.Frame) {
 			if s.probe != nil && s.probe.Released != nil {
 				s.probe.Released(now, e.seq, e.dg.ID)
 			}
+			s.freeEntry(e)
 		} else {
-			keep = append(keep, e)
+			s.window[w] = e
+			w++
 		}
 	}
-	s.window = keep
+	for i := w; i < len(s.window); i++ {
+		s.window[i] = nil
+	}
+	s.window = s.window[:w]
 	s.sendBase = f.Ack
 	s.restartT1()
 	s.noteOccupancy()

@@ -1,0 +1,134 @@
+package lamsdlc
+
+// Allocation pins for the ISSUE 6 zero-alloc steady paths. These fail in
+// plain `go test` when a regression reintroduces per-event garbage, instead
+// of waiting for a bench diff to notice.
+
+import (
+	"testing"
+
+	"repro/internal/arq"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// nullWire swallows frames without copying or retaining them, so the pins
+// measure only the protocol state machines.
+type nullWire struct{}
+
+func (nullWire) Send(*frame.Frame)                {}
+func (nullWire) TxTime(*frame.Frame) sim.Duration { return 0 }
+
+// TestSenderCheckpointProcessingNoAllocs pins the full steady-state sender
+// cycle — enqueue, pump, checkpoint with a NAK (bitset classification,
+// renumbered retransmission, releases) — at zero allocations.
+func TestSenderCheckpointProcessingNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; the zero-alloc pin cannot hold")
+	}
+	sched := sim.NewScheduler()
+	m := &arq.Metrics{}
+	s := NewSender(sched, nullWire{}, baseCfg(), m, nil)
+	s.Start()
+
+	payload := make([]byte, 64)
+	id := uint64(0)
+	serial := uint32(0)
+	cp := frame.Get()
+	defer frame.Put(cp)
+
+	round := func() {
+		for i := 0; i < 4; i++ {
+			if !s.Enqueue(arq.Datagram{ID: id, Payload: payload}) {
+				t.Fatal("enqueue rejected")
+			}
+			id++
+		}
+		sched.RunFor(2 * sim.Microsecond) // pump the batch (TxTime is 0)
+		// Checkpoint acking everything, NAKing the last seq sent: exercises
+		// the naked bitset, one renumbered retransmission, and releases.
+		serial++
+		cp.Kind, cp.Serial, cp.Ack = frame.KindCheckpoint, serial, s.nextSeq
+		cp.NAKs = append(cp.NAKs[:0], s.nextSeq-1)
+		s.HandleFrame(sched.Now(), cp)
+	}
+
+	for i := 0; i < 50; i++ { // warm pools, rings, and scratch capacities
+		round()
+	}
+	if avg := testing.AllocsPerRun(100, round); avg != 0 {
+		t.Fatalf("sender checkpoint cycle allocates %.2f/op, want 0", avg)
+	}
+	if m.Delivered.Value() != 0 && s.Unacked() < 0 {
+		t.Fatal("unreachable") // keep m live
+	}
+}
+
+// TestReceiverResolveNoAllocs pins the steady-state receiver cycle — I-frame
+// arrival with a gap, t_proc processing and delivery, checkpoint emission
+// with a cumulative NAK list — at zero allocations.
+func TestReceiverResolveNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; the zero-alloc pin cannot hold")
+	}
+	sched := sim.NewScheduler()
+	cfg := baseCfg()
+	m := &arq.Metrics{}
+	r := NewReceiver(sched, nullWire{}, cfg, m, nil)
+	r.Start()
+
+	seq := uint32(0)
+	sendI := func(s uint32) {
+		f := frame.Get()
+		f.Kind, f.Seq, f.DatagramID = frame.KindI, s, uint64(s)
+		f.EnqueuedNS = int64(sched.Now()) // keep the delay histogram's bucket fixed
+		r.HandleFrame(sched.Now(), f)     // receiver recycles f after t_proc
+	}
+	round := func() {
+		sendI(seq)
+		seq += 2 // skip one: a fresh gap enters intervals[0] every cycle
+		sendI(seq)
+		seq++
+		// Process both frames and emit one checkpoint (NAK union over the
+		// C_depth cumulation window, interval rotation).
+		sched.RunFor(cfg.CheckpointInterval)
+	}
+
+	for i := 0; i < 50; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(100, round); avg != 0 {
+		t.Fatalf("receiver resolve cycle allocates %.2f/op, want 0", avg)
+	}
+	if m.Delivered.Value() == 0 {
+		t.Fatal("no deliveries happened; the pin measured nothing")
+	}
+}
+
+// TestDedupSeenPrunedAfter100k pins the dedup memory's population after
+// 100k datagrams: incremental expiry must hold it at exactly one window's
+// deliveries, independent of transfer length (ISSUE 6 satellite).
+func TestDedupSeenPrunedAfter100k(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := baseCfg()
+	cfg.DedupWindow = 50 * sim.Millisecond
+	r := NewReceiver(sched, nullWire{}, cfg, &arq.Metrics{}, nil)
+
+	const (
+		n   = 100_000
+		gap = 50 * sim.Microsecond // 1000 deliveries per window
+	)
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		now = now.Add(gap)
+		r.recordSeen(uint64(i), now)
+	}
+	// Entries at most DedupWindow old survive: window/gap + 1 = 1001.
+	want := int(cfg.DedupWindow/gap) + 1
+	if got := r.DedupEntries(); got != want {
+		t.Fatalf("dedup memory after %d datagrams = %d entries, want %d", n, got, want)
+	}
+	if got := r.dedupAge.Len(); got != want {
+		t.Fatalf("dedup FIFO after %d datagrams = %d records, want %d", n, got, want)
+	}
+}

@@ -3,6 +3,7 @@ package lamsdlc
 import (
 	"repro/internal/arq"
 	"repro/internal/frame"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -36,16 +37,37 @@ type Receiver struct {
 	haveCpEmit bool
 
 	// Receive processing queue (the receiving buffer of §3.4).
-	procQueue []*frame.Frame
+	procQueue ring.Ring[*frame.Frame]
 	procBusy  bool
+	procDone  func() // finishProc bound once; the t_proc completion event
 	stopGo    bool
 
-	// DLC-level duplicate suppression (Config.DedupWindow).
-	seen      map[uint64]sim.Time // datagram ID -> delivery instant
-	lastPrune sim.Time
+	// DLC-level duplicate suppression (Config.DedupWindow). dedupAge is
+	// the FIFO of recordings that drives incremental expiry: entries
+	// leave seen as soon as they age past the window, so the map's
+	// population is bounded by the deliveries of one window rather than
+	// growing until an amortized sweep.
+	seen     map[uint64]sim.Time // datagram ID -> delivery instant
+	dedupAge ring.Ring[dedupRec]
+
+	// Checkpoint-emission scratch, recycled across cycles (ISSUE 6): the
+	// NAK union's dedup set and output list keep their backing storage
+	// (safe to reuse because the channel copies NAK lists on Send), and
+	// outbound checkpoints are built in a reusable scratch frame.
+	nakSeen map[uint32]bool
+	nakOut  []uint32
+	cpf     frame.Frame
 
 	deliver arq.DeliverFunc
 	probe   *Probe
+}
+
+// dedupRec is one dedup-memory recording awaiting expiry. A refreshed
+// datagram ID leaves a stale record behind; expiry detects it by instant
+// mismatch and skips the delete.
+type dedupRec struct {
+	id uint64
+	at sim.Time
 }
 
 // NewReceiver constructs a receiver delivering upward via deliver (which
@@ -66,6 +88,7 @@ func NewReceiver(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics
 	if cfg.DedupWindow > 0 {
 		r.seen = make(map[uint64]sim.Time)
 	}
+	r.procDone = r.finishProc
 	r.ticker = sim.NewTicker(sched, cfg.CheckpointInterval, r.emitCheckpoint)
 	return r
 }
@@ -106,7 +129,7 @@ func (r *Receiver) Expected() uint32 { return r.expected }
 func (r *Receiver) StopGoAsserted() bool { return r.stopGo }
 
 // QueueLen returns the receive-buffer occupancy in frames.
-func (r *Receiver) QueueLen() int { return len(r.procQueue) }
+func (r *Receiver) QueueLen() int { return r.procQueue.Len() }
 
 // HandleFrame processes one arriving frame.
 func (r *Receiver) HandleFrame(now sim.Time, f *frame.Frame) {
@@ -132,6 +155,7 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 		// Below the watermark means a duplicate of a classified frame.
 		// With monotone numbering and a FIFO wire this cannot happen in
 		// normal operation; tolerate it silently for robustness.
+		frame.Put(f)
 		return
 	}
 	// Gap detection: every sequence number skipped over was a frame
@@ -147,7 +171,7 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 	// Receive buffer admission (§3.4): a full processing queue discards
 	// the frame; the discard is reported like any other error so the
 	// sender retransmits it, and Stop-Go throttles the sender meanwhile.
-	if r.cfg.RecvBufferCap > 0 && len(r.procQueue) >= r.cfg.RecvBufferCap {
+	if r.cfg.RecvBufferCap > 0 && r.procQueue.Len() >= r.cfg.RecvBufferCap {
 		r.intervals[0] = append(r.intervals[0], f.Seq)
 		r.m.NAKsSent.Inc()
 		r.m.RecvDropped.Inc()
@@ -159,9 +183,10 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 			}
 		}
 		r.stopGo = true
+		frame.Put(f)
 		return
 	}
-	r.procQueue = append(r.procQueue, f)
+	r.procQueue.PushBack(f)
 	r.noteRecvOccupancy()
 	r.updateStopGo()
 	r.processNext()
@@ -169,51 +194,56 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 
 // processNext runs the t_proc processing pipeline, one frame at a time.
 func (r *Receiver) processNext() {
-	if r.procBusy || len(r.procQueue) == 0 {
+	if r.procBusy || r.procQueue.Len() == 0 {
 		return
 	}
 	r.procBusy = true
-	r.sched.ScheduleAfterDetached(r.cfg.ProcTime, func() {
-		f := r.procQueue[0]
-		r.procQueue = r.procQueue[1:]
-		r.procBusy = false
-		r.noteRecvOccupancy()
-		r.updateStopGo()
-		now := r.sched.Now()
-		if r.seen != nil {
-			if _, dup := r.seen[f.DatagramID]; dup {
-				// The "more recent version" of §3.2: the link layer
-				// itself guarantees zero duplication. Refresh the entry:
-				// under sustained acknowledgement failure the sender keeps
-				// retransmitting, so a chain of duplicates can outlive any
-				// fixed window, but the gap between consecutive arrivals
-				// of one datagram is bounded by the retransmission cadence
-				// (well inside DedupWindow).
-				r.seen[f.DatagramID] = now
-				r.m.DupSuppressed.Inc()
-				r.im.dups.Inc()
-				r.pruneSeen(now)
-				r.processNext()
-				return
-			}
-			r.seen[f.DatagramID] = now
-			r.pruneSeen(now)
+	r.sched.ScheduleAfterDetached(r.cfg.ProcTime, r.procDone)
+}
+
+// finishProc completes one frame's t_proc: classify (dedup), deliver
+// upward, recycle the frame, continue with the next. It is the processing
+// pipeline's completion callback, bound once at construction.
+func (r *Receiver) finishProc() {
+	f := r.procQueue.PopFront()
+	r.procBusy = false
+	r.noteRecvOccupancy()
+	r.updateStopGo()
+	now := r.sched.Now()
+	if r.seen != nil {
+		if _, dup := r.seen[f.DatagramID]; dup {
+			// The "more recent version" of §3.2: the link layer
+			// itself guarantees zero duplication. Refresh the entry:
+			// under sustained acknowledgement failure the sender keeps
+			// retransmitting, so a chain of duplicates can outlive any
+			// fixed window, but the gap between consecutive arrivals
+			// of one datagram is bounded by the retransmission cadence
+			// (well inside DedupWindow).
+			r.recordSeen(f.DatagramID, now)
+			r.m.DupSuppressed.Inc()
+			r.im.dups.Inc()
+			frame.Put(f)
+			r.processNext()
+			return
 		}
-		dg := arq.Datagram{ID: f.DatagramID, Payload: f.Payload, EnqueuedAt: sim.Time(f.EnqueuedNS)}
-		r.m.NoteDelivery(now, dg)
-		r.im.delivered.Inc()
-		if r.deliver != nil {
-			r.deliver(now, dg, f.Seq)
-		}
-		r.processNext()
-	})
+		r.recordSeen(f.DatagramID, now)
+	}
+	dg := arq.Datagram{ID: f.DatagramID, Payload: f.Payload, EnqueuedAt: sim.Time(f.EnqueuedNS)}
+	seq := f.Seq
+	frame.Put(f)
+	r.m.NoteDelivery(now, dg)
+	r.im.delivered.Inc()
+	if r.deliver != nil {
+		r.deliver(now, dg, seq)
+	}
+	r.processNext()
 }
 
 func (r *Receiver) updateStopGo() {
 	if r.cfg.RecvBufferCap <= 0 {
 		return
 	}
-	occ := float64(len(r.procQueue)) / float64(r.cfg.RecvBufferCap)
+	occ := float64(r.procQueue.Len()) / float64(r.cfg.RecvBufferCap)
 	if occ >= r.cfg.StopGoHigh {
 		if !r.stopGo {
 			r.im.stopGoFlips.Inc()
@@ -238,10 +268,12 @@ func (r *Receiver) updateStopGo() {
 func (r *Receiver) emitCheckpoint() {
 	r.serial++
 	r.send(false)
-	// Rotate the cumulation window: a fresh current interval, oldest
-	// report generation expires.
+	// Rotate the cumulation window: the expiring oldest generation's
+	// backing array becomes the fresh current interval, so steady-state
+	// gap reporting reuses C_depth arrays instead of allocating.
+	last := r.intervals[len(r.intervals)-1]
 	copy(r.intervals[1:], r.intervals[:len(r.intervals)-1])
-	r.intervals[0] = nil
+	r.intervals[0] = last[:0]
 	r.m.Checkpoints.Inc()
 	r.im.checkpoints.Inc()
 	now := r.sched.Now()
@@ -261,23 +293,37 @@ func (r *Receiver) handleRequestNAK(_ sim.Time, req *frame.Frame) {
 
 func (r *Receiver) send(enforced bool) {
 	naks := r.cumulativeNAKs()
-	cp := frame.NewCheckpoint(r.serial, r.expected, naks, r.stopGo, enforced)
+	r.cpf = frame.Frame{
+		Kind:     frame.KindCheckpoint,
+		Serial:   r.serial,
+		Ack:      r.expected,
+		NAKs:     naks,
+		StopGo:   r.stopGo,
+		Enforced: enforced,
+	}
 	if r.probe != nil && r.probe.CheckpointSent != nil {
 		r.probe.CheckpointSent(r.sched.Now(), r.serial, enforced)
 	}
-	r.wire.Send(cp)
+	r.wire.Send(&r.cpf)
 	r.m.ControlSent.Inc()
 	r.im.naksReported.Add(uint64(len(naks)))
 }
 
 func (r *Receiver) sendEnforced(reqSerial uint32) {
 	naks := r.cumulativeNAKs()
-	cp := frame.NewCheckpoint(r.serial, r.expected, naks, r.stopGo, true)
-	cp.Seq = reqSerial // echo for correlation
+	r.cpf = frame.Frame{
+		Kind:     frame.KindCheckpoint,
+		Serial:   r.serial,
+		Ack:      r.expected,
+		NAKs:     naks,
+		StopGo:   r.stopGo,
+		Enforced: true,
+		Seq:      reqSerial, // echo for correlation
+	}
 	if r.probe != nil && r.probe.CheckpointSent != nil {
 		r.probe.CheckpointSent(r.sched.Now(), r.serial, true)
 	}
-	r.wire.Send(cp)
+	r.wire.Send(&r.cpf)
 	r.m.ControlSent.Inc()
 	r.im.naksReported.Add(uint64(len(naks)))
 	r.im.enforcedSent.Inc()
@@ -286,6 +332,8 @@ func (r *Receiver) sendEnforced(reqSerial uint32) {
 // cumulativeNAKs returns the union of the stored intervals, deduplicated
 // and in ascending order (the lists are built ascending and intervals are
 // disjoint in normal operation, but overflow discards can repeat a seq).
+// The returned slice is scratch, valid until the next call; the channel
+// copies it on Send.
 func (r *Receiver) cumulativeNAKs() []uint32 {
 	var total int
 	for _, iv := range r.intervals {
@@ -294,30 +342,43 @@ func (r *Receiver) cumulativeNAKs() []uint32 {
 	if total == 0 {
 		return nil
 	}
-	seen := make(map[uint32]bool, total)
-	out := make([]uint32, 0, total)
+	if r.nakSeen == nil {
+		r.nakSeen = make(map[uint32]bool, total)
+	} else {
+		clear(r.nakSeen)
+	}
+	out := r.nakOut[:0]
 	// Oldest generation first keeps ascending order overall.
 	for i := len(r.intervals) - 1; i >= 0; i-- {
 		for _, seq := range r.intervals[i] {
-			if !seen[seq] {
-				seen[seq] = true
+			if !r.nakSeen[seq] {
+				r.nakSeen[seq] = true
 				out = append(out, seq)
 			}
 		}
 	}
+	r.nakOut = out
 	return out
 }
 
-// pruneSeen expires dedup entries older than the window, amortized to one
-// sweep per window.
-func (r *Receiver) pruneSeen(now sim.Time) {
-	if now.Sub(r.lastPrune) < r.cfg.DedupWindow {
-		return
-	}
-	r.lastPrune = now
-	for id, at := range r.seen {
-		if now.Sub(at) > r.cfg.DedupWindow {
-			delete(r.seen, id)
+// recordSeen stamps id in the dedup memory and expires everything past the
+// window. Expiry is incremental off the recording FIFO — pop while the
+// front is overage — so the map never holds entries older than the window
+// plus one delivery gap, keeping its size bounded by a window's deliveries
+// (the §3.2 memory-bound argument, enforced rather than amortized).
+func (r *Receiver) recordSeen(id uint64, now sim.Time) {
+	r.seen[id] = now
+	r.dedupAge.PushBack(dedupRec{id: id, at: now})
+	for r.dedupAge.Len() > 0 {
+		rec := r.dedupAge.Front()
+		if now.Sub(rec.at) <= r.cfg.DedupWindow {
+			break
+		}
+		r.dedupAge.PopFront()
+		// A refreshed ID leaves stale records; only the latest recording
+		// may delete.
+		if at, ok := r.seen[rec.id]; ok && at == rec.at {
+			delete(r.seen, rec.id)
 		}
 	}
 }
@@ -327,6 +388,6 @@ func (r *Receiver) pruneSeen(now sim.Time) {
 func (r *Receiver) DedupEntries() int { return len(r.seen) }
 
 func (r *Receiver) noteRecvOccupancy() {
-	r.m.RecvBufOcc.Update(int64(r.sched.Now()), float64(len(r.procQueue)))
-	r.im.queueLen.Set(float64(len(r.procQueue)))
+	r.m.RecvBufOcc.Update(int64(r.sched.Now()), float64(r.procQueue.Len()))
+	r.im.queueLen.Set(float64(r.procQueue.Len()))
 }

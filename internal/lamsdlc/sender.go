@@ -2,11 +2,20 @@ package lamsdlc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arq"
 	"repro/internal/frame"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
+
+// entryPool recycles buffer entries across sender lifetimes: within one run
+// release→Enqueue cycles reuse the same objects, and across a sweep of
+// hermetic runs (bench.RunMany) each worker's entry population is allocated
+// once instead of once per run. Entries are always zeroed before Put, so Get
+// never observes stale state or pinned payload memory.
+var entryPool = sync.Pool{New: func() any { return new(entry) }}
 
 // entry is one datagram held in the sending buffer, keyed by the sequence
 // number of its current incarnation (LAMS-DLC renumbers retransmissions).
@@ -30,10 +39,19 @@ type Sender struct {
 	m     *arq.Metrics
 	im    senderInstr
 
-	queue   []arq.Datagram // accepted, not yet first-transmitted
-	ordered []*entry       // unacknowledged, ascending current seq
-	bySeq   map[uint32]*entry
+	queue   ring.Ring[arq.Datagram] // accepted, not yet first-transmitted
+	ordered []*entry                // unacknowledged, ascending current seq
 	nextSeq uint32
+
+	// Run-scoped scratch, recycled across checkpoints so the steady state
+	// allocates nothing (ISSUE 6): released buffer entries return to
+	// entryPool, the per-checkpoint naked-seq set is a bitset spanning the
+	// live window, the retransmit decision list keeps its capacity, and
+	// outbound frames are built in a reusable scratch frame (the Wire
+	// contract says implementations copy on Send).
+	nakBits []uint64
+	retxBuf []retxDecision
+	txf     frame.Frame
 
 	// Send pacing.
 	pumpTimer    *sim.Timer
@@ -71,7 +89,6 @@ func NewSender(sched *sim.Scheduler, wire arq.Wire, cfg Config, m *arq.Metrics, 
 		cfg:          cfg,
 		m:            m,
 		im:           newSenderInstr(cfg.Metrics),
-		bySeq:        make(map[uint32]*entry),
 		rateFraction: 1,
 		retriesLeft:  cfg.RequestRetries,
 		onFailure:    onFailure,
@@ -104,10 +121,10 @@ func (s *Sender) Recovering() bool { return s.recovering }
 // Outstanding returns the number of unacknowledged frames plus queued
 // datagrams — the sending-buffer occupancy whose transparent bound §4
 // derives.
-func (s *Sender) Outstanding() int { return len(s.ordered) + len(s.queue) }
+func (s *Sender) Outstanding() int { return len(s.ordered) + s.queue.Len() }
 
 // QueuedDatagrams returns only the not-yet-transmitted backlog.
-func (s *Sender) QueuedDatagrams() int { return len(s.queue) }
+func (s *Sender) QueuedDatagrams() int { return s.queue.Len() }
 
 // Unacked returns the number of transmitted-but-unreleased frames.
 func (s *Sender) Unacked() int { return len(s.ordered) }
@@ -145,11 +162,38 @@ func (s *Sender) Enqueue(dg arq.Datagram) bool {
 		return false
 	}
 	dg.EnqueuedAt = s.sched.Now()
-	s.queue = append(s.queue, dg)
+	s.queue.PushBack(dg)
 	s.m.Submitted.Inc()
 	s.noteOccupancy()
 	s.schedulePump(0)
 	return true
+}
+
+// newEntry fetches a zeroed buffer entry from the pool.
+func (s *Sender) newEntry() *entry {
+	return entryPool.Get().(*entry)
+}
+
+// freeEntry recycles a released buffer entry. The entry is zeroed before Put
+// so the pool never pins payload memory and Get hands out clean objects.
+func (s *Sender) freeEntry(e *entry) {
+	*e = entry{}
+	entryPool.Put(e)
+}
+
+// sendI transmits e's current incarnation via the scratch frame, returning
+// the frame for pacing math. The Wire contract (arq.Wire) says Send copies;
+// the scratch is valid until the sender's next send.
+func (s *Sender) sendI(e *entry) *frame.Frame {
+	s.txf = frame.Frame{
+		Kind:       frame.KindI,
+		Seq:        e.seq,
+		DatagramID: e.dg.ID,
+		Payload:    e.dg.Payload,
+		EnqueuedNS: int64(e.dg.EnqueuedAt),
+	}
+	s.wire.Send(&s.txf)
+	return &s.txf
 }
 
 // schedulePump arms the pump after d, unless an earlier pump is pending.
@@ -176,19 +220,16 @@ func (s *Sender) pump() {
 		s.schedulePump(s.wireFreeAt.Sub(now))
 		return
 	}
-	if len(s.queue) == 0 {
+	if s.queue.Len() == 0 {
 		return
 	}
-	dg := s.queue[0]
-	s.queue = s.queue[1:]
-	e := &entry{dg: dg, seq: s.nextSeq, lastTx: now, holdStart: now}
+	dg := s.queue.PopFront()
+	e := s.newEntry()
+	e.dg, e.seq, e.lastTx, e.holdStart = dg, s.nextSeq, now, now
 	s.nextSeq++
-	s.bySeq[e.seq] = e
 	s.ordered = append(s.ordered, e)
 	e.txCount = 1
-	f := frame.NewI(e.seq, dg.ID, dg.Payload)
-	f.EnqueuedNS = int64(dg.EnqueuedAt)
-	s.wire.Send(f)
+	f := s.sendI(e)
 	s.m.FirstTx.Inc()
 	s.im.firstTx.Inc()
 	if s.probe != nil && s.probe.FirstTransmission != nil {
@@ -201,7 +242,7 @@ func (s *Sender) pump() {
 	tx := s.wire.TxTime(f)
 	gap := sim.Duration(float64(tx) / s.rateFraction)
 	s.wireFreeAt = now.Add(gap)
-	if len(s.queue) > 0 {
+	if s.queue.Len() > 0 {
 		s.schedulePump(gap)
 	}
 }
@@ -247,9 +288,28 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 		s.lastRxSerial = f.Serial
 	}
 
-	naked := make(map[uint32]bool, len(f.NAKs))
-	for _, n := range f.NAKs {
-		naked[n] = true
+	// Naked-sequence lookup as a bitset over the live window [base,
+	// nextSeq): the live span is bounded by the numbering size (§2.3), so
+	// the bitset is small, and it recycles across checkpoints where the
+	// old per-checkpoint map allocated. Stale NAKs naming retired seqs
+	// fall outside the window and are dropped here, exactly as they
+	// missed the old map.
+	var nakBase, nakSpan uint32
+	if len(f.NAKs) > 0 && len(s.ordered) > 0 {
+		nakBase = s.ordered[0].seq
+		nakSpan = s.nextSeq - nakBase
+		words := int(nakSpan+63) / 64
+		if cap(s.nakBits) < words {
+			s.nakBits = make([]uint64, words)
+		} else {
+			s.nakBits = s.nakBits[:words]
+			clear(s.nakBits)
+		}
+		for _, n := range f.NAKs {
+			if d := n - nakBase; d < nakSpan {
+				s.nakBits[d>>6] |= 1 << (d & 63)
+			}
+		}
 	}
 
 	// Flow control (§3.4): every checkpoint adjusts the rate.
@@ -288,13 +348,18 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 		}
 	}
 
-	// Walk the ordered buffer once, deciding each entry's fate.
+	// Walk the ordered buffer once, deciding each entry's fate. Kept
+	// entries compact in place (w is the write index) and the
+	// retransmission list reuses its backing array, so the walk itself
+	// allocates nothing.
 	resolving := s.cfg.ResolvingPeriod()
-	var keep []*entry
-	var retransmit []retxDecision
+	retransmit := s.retxBuf[:0]
+	w := 0
 	for _, e := range s.ordered {
+		d := e.seq - nakBase
+		isNaked := nakSpan > 0 && d < nakSpan && s.nakBits[d>>6]&(1<<(d&63)) != 0
 		switch {
-		case naked[e.seq]:
+		case isNaked:
 			// First notification for this incarnation: retransmit under
 			// a new number. (Stale NAKs name retired seqs and miss.)
 			retransmit = append(retransmit, retxDecision{e, RetxNAK})
@@ -310,7 +375,8 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 				retransmit = append(retransmit, retxDecision{e, RetxCoverage})
 				s.im.retxCoverage.Inc()
 			} else {
-				keep = append(keep, e)
+				s.ordered[w] = e
+				w++
 			}
 		case f.Enforced && now.Sub(e.lastTx) >= s.cfg.RoundTrip:
 			// Enforced recovery: the receiver has never seen this frame
@@ -324,10 +390,15 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 			retransmit = append(retransmit, retxDecision{e, RetxResolving})
 			s.im.retxResolving.Inc()
 		default:
-			keep = append(keep, e)
+			s.ordered[w] = e
+			w++
 		}
 	}
-	s.ordered = keep
+	for i := w; i < len(s.ordered); i++ {
+		s.ordered[i] = nil
+	}
+	s.ordered = s.ordered[:w]
+	s.retxBuf = retransmit
 	for _, d := range retransmit {
 		s.retransmit(now, d.e, d.cause)
 	}
@@ -350,16 +421,12 @@ type retxDecision struct {
 // the ordered buffer (new seq = highest, so order is preserved).
 func (s *Sender) retransmit(now sim.Time, e *entry, cause RetxCause) {
 	old := e.seq
-	delete(s.bySeq, e.seq)
 	e.seq = s.nextSeq
 	s.nextSeq++
 	e.lastTx = now
 	e.txCount++
-	s.bySeq[e.seq] = e
 	s.ordered = append(s.ordered, e)
-	f := frame.NewI(e.seq, e.dg.ID, e.dg.Payload)
-	f.EnqueuedNS = int64(e.dg.EnqueuedAt)
-	s.wire.Send(f)
+	f := s.sendI(e)
 	s.m.Retransmissions.Inc()
 	s.im.retx.Inc()
 	if s.probe != nil && s.probe.Retransmitted != nil {
@@ -385,15 +452,16 @@ func (s *Sender) retransmit(now sim.Time, e *entry, cause RetxCause) {
 	}
 }
 
-// release frees the buffer slot and records the holding time.
+// release frees the buffer slot and records the holding time. The entry
+// returns to the freelist; the caller must drop its reference.
 func (s *Sender) release(now sim.Time, e *entry) {
-	delete(s.bySeq, e.seq)
 	s.m.HoldingTime.Add(float64(now.Sub(e.holdStart)))
 	s.im.releases.Inc()
 	s.im.holdingNS.Observe(float64(now.Sub(e.holdStart)))
 	if s.probe != nil && s.probe.Released != nil {
 		s.probe.Released(now, e.seq, e.dg.ID)
 	}
+	s.freeEntry(e)
 }
 
 func (s *Sender) applyStopGo(stop bool) {
@@ -443,7 +511,8 @@ func (s *Sender) sendRequestNAK() {
 	if s.probe != nil && s.probe.RequestNAKSent != nil {
 		s.probe.RequestNAKSent(s.reqSentAt, s.reqSerial)
 	}
-	s.wire.Send(frame.NewRequestNAK(s.reqSerial))
+	s.txf = frame.Frame{Kind: frame.KindRequestNAK, Serial: s.reqSerial}
+	s.wire.Send(&s.txf)
 	s.m.ControlSent.Inc()
 	s.m.Recoveries.Inc()
 	s.im.reqNAKs.Inc()
@@ -522,7 +591,9 @@ func (s *Sender) UnreleasedDatagrams() []arq.Datagram {
 	for _, e := range s.ordered {
 		out = append(out, e.dg)
 	}
-	out = append(out, s.queue...)
+	for i := 0; i < s.queue.Len(); i++ {
+		out = append(out, s.queue.At(i))
+	}
 	return out
 }
 

@@ -149,6 +149,17 @@ func TestDriverBadArgsPanic(t *testing.T) {
 	}
 }
 
+// liveSpeed returns the real-to-virtual time multiplier for the live
+// transfer tests. Under the race detector the multiplier drops so that
+// real-time scheduling hiccups stay small in virtual time relative to
+// the checkpoint failure timeout.
+func liveSpeed() float64 {
+	if raceEnabled {
+		return 2
+	}
+	return 20
+}
+
 func liveCfg() lamsdlc.Config {
 	cfg := lamsdlc.Defaults(2 * sim.Millisecond)
 	cfg.CheckpointInterval = 5 * sim.Millisecond
@@ -167,20 +178,24 @@ func TestLiveTransferOverNetPipe(t *testing.T) {
 	tx := NewEndpoint(a, EndpointConfig{
 		Config:   liveCfg(),
 		RateBps:  50e6,
-		Speed:    20,
+		Speed:    liveSpeed(),
 		SendSide: true,
 	})
 	defer tx.Close()
 	rx := NewEndpoint(b, EndpointConfig{
 		Config:   liveCfg(),
 		RateBps:  50e6,
-		Speed:    20,
+		Speed:    liveSpeed(),
 		RecvSide: true,
 		Deliver: func(_ sim.Time, dg arq.Datagram, _ uint32) {
 			mu.Lock()
 			got[dg.ID]++
 			if len(got) == n {
-				close(done)
+				select {
+				case <-done:
+				default:
+					close(done)
+				}
 			}
 			mu.Unlock()
 		},
@@ -247,14 +262,14 @@ func TestLiveRecoversFromRealCorruption(t *testing.T) {
 	tx := NewEndpoint(noisy, EndpointConfig{
 		Config:   liveCfg(),
 		RateBps:  50e6,
-		Speed:    20,
+		Speed:    liveSpeed(),
 		SendSide: true,
 	})
 	defer tx.Close()
 	rx := NewEndpoint(b, EndpointConfig{
 		Config:   liveCfg(),
 		RateBps:  50e6,
-		Speed:    20,
+		Speed:    liveSpeed(),
 		RecvSide: true,
 		Deliver: func(_ sim.Time, dg arq.Datagram, _ uint32) {
 			mu.Lock()
@@ -345,14 +360,14 @@ func TestLiveHDLCOverTCP(t *testing.T) {
 	tx := NewEndpoint(dialConn, EndpointConfig{
 		HDLC:     &hcfg,
 		RateBps:  50e6,
-		Speed:    20,
+		Speed:    liveSpeed(),
 		SendSide: true,
 	})
 	defer tx.Close()
 	rx := NewEndpoint(srvConn, EndpointConfig{
 		HDLC:     &hcfg,
 		RateBps:  50e6,
-		Speed:    20,
+		Speed:    liveSpeed(),
 		RecvSide: true,
 		Deliver: func(_ sim.Time, dg arq.Datagram, _ uint32) {
 			mu.Lock()

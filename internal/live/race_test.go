@@ -1,0 +1,10 @@
+//go:build race
+
+package live
+
+// raceEnabled reports whether the race detector is compiled in. The
+// live tests widen their real-time margins under it: instrumentation
+// pauses of a few real milliseconds are routine, and at high Speed
+// multipliers they become tens of virtual milliseconds — enough to
+// cross the checkpoint failure timeout or the dedup window.
+const raceEnabled = true

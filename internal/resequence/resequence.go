@@ -64,6 +64,17 @@ func (r *Resequencer) Push(now sim.Time, dg arq.Datagram) {
 		r.Stats.Duplicates.Inc()
 		return
 	}
+	if dg.ID == r.next && len(r.held) == 0 {
+		// In order with nothing buffered — the overwhelming steady-state
+		// case. Bypass the reorder buffer entirely: same observable
+		// effects as the general path (one release, occupancy stays 0),
+		// without the map insert/lookup/delete churn.
+		r.next++
+		r.Stats.Released.Inc()
+		r.release(now, dg)
+		r.Stats.Buffered.Update(int64(now), 0)
+		return
+	}
 	if _, dup := r.held[dg.ID]; dup {
 		r.Stats.Duplicates.Inc()
 		return

@@ -1,0 +1,95 @@
+// Package ring provides a growable circular FIFO whose backing array is
+// reused across cycles. The protocol hot paths (sender send queues, the
+// receiver's processor queue, dedup aging) push and pop constantly; a plain
+// slice used as a queue either leaks capacity (q = q[1:]) or reallocates.
+// The ring keeps one backing array, doubling it only when the population
+// grows past every previous high-water mark, so steady-state traffic runs
+// allocation-free.
+package ring
+
+// Ring is a FIFO queue over a circular buffer. The zero value is ready to
+// use. Not safe for concurrent use.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // population
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// grow doubles the backing array and linearizes the contents.
+func (r *Ring[T]) grow() {
+	c := len(r.buf) * 2
+	if c < 8 {
+		c = 8
+	}
+	buf := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// PushBack appends v at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// PushFront prepends v at the head.
+func (r *Ring[T]) PushFront(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = v
+	r.n++
+}
+
+// PopFront removes and returns the front element. The vacated slot is
+// zeroed so the ring does not pin pointers past their lifetime. Panics on
+// an empty ring.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("ring: pop from empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// Front returns the front element without removing it. Panics on an empty
+// ring.
+func (r *Ring[T]) Front() T {
+	if r.n == 0 {
+		panic("ring: front of empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// At returns the i-th element from the front (0 = front). Panics when out
+// of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Reset drops all elements, zeroing the occupied slots but keeping the
+// backing array for reuse.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.n = 0, 0
+}

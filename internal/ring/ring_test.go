@@ -1,0 +1,102 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.PushBack(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", r.Len())
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	var r Ring[int]
+	r.PushBack(2)
+	r.PushBack(3)
+	r.PushFront(1)
+	r.PushFront(0)
+	for i := 0; i < 4; i++ {
+		if got := r.At(i); got != i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if got := r.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var r Ring[int]
+	// Interleave pushes and pops so head walks around the buffer many
+	// times without growing it.
+	next, want := 0, 0
+	for i := 0; i < 1000; i++ {
+		r.PushBack(next)
+		next++
+		r.PushBack(next)
+		next++
+		if got := r.PopFront(); got != want {
+			t.Fatalf("PopFront = %d, want %d", got, want)
+		}
+		want++
+	}
+	for r.Len() > 0 {
+		if got := r.PopFront(); got != want {
+			t.Fatalf("PopFront = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d elements, want %d", want, next)
+	}
+}
+
+func TestPopZeroesSlot(t *testing.T) {
+	var r Ring[*int]
+	x := new(int)
+	r.PushBack(x)
+	r.PopFront()
+	// The vacated slot must not pin the pointer.
+	if r.buf[0] != nil {
+		t.Fatal("PopFront left pointer in vacated slot")
+	}
+	r.PushBack(x)
+	r.Reset()
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatalf("Reset left pointer in slot %d", i)
+		}
+	}
+}
+
+func TestSteadyStateNoAllocs(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 64; i++ {
+		r.PushBack(i)
+	}
+	r.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			r.PushBack(i)
+		}
+		for i := 0; i < 64; i++ {
+			r.PopFront()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f/run, want 0", allocs)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/arq"
 	"repro/internal/channel"
 	"repro/internal/resequence"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -66,7 +67,7 @@ type Manager struct {
 	passes  []Pass
 	factory LinkFactory
 
-	queue  []arq.Datagram // waiting for a pass
+	queue  ring.Ring[arq.Datagram] // waiting for a pass
 	nextID uint64
 	cur    arq.Pair
 	curIdx int
@@ -127,13 +128,13 @@ func (m *Manager) Send(payload []byte) uint64 {
 	if m.cur != nil && m.cur.Enqueue(dg) {
 		return id
 	}
-	m.queue = append(m.queue, dg)
+	m.queue.PushBack(dg)
 	return id
 }
 
 // Pending returns the datagrams waiting for a pass (excluding those inside
 // the active pair).
-func (m *Manager) Pending() int { return len(m.queue) }
+func (m *Manager) Pending() int { return m.queue.Len() }
 
 // Active reports whether a pass is currently carrying traffic.
 func (m *Manager) Active() bool { return m.cur != nil }
@@ -163,12 +164,12 @@ func (m *Manager) startPass(i int, p Pass) {
 	m.cur = pair
 	m.curIdx = i
 	m.Stats.Passes.Inc()
-	// Feed everything waiting.
-	q := m.queue
-	m.queue = nil
-	for _, dg := range q {
+	// Feed everything waiting; refusals cycle to the back, preserving
+	// their relative order.
+	for n := m.queue.Len(); n > 0; n-- {
+		dg := m.queue.PopFront()
 		if !pair.Enqueue(dg) {
-			m.queue = append(m.queue, dg)
+			m.queue.PushBack(dg)
 		}
 	}
 }
@@ -187,14 +188,16 @@ func (m *Manager) endPass(i int) {
 	carried := pair.Reclaim()
 	m.Stats.CarriedOver.Addn(uint64(len(carried)))
 	// Carried datagrams go to the front: they are the oldest.
-	m.queue = append(append([]arq.Datagram(nil), carried...), m.queue...)
+	for i := len(carried) - 1; i >= 0; i-- {
+		m.queue.PushFront(carried[i])
+	}
 }
 
 // Summary renders headline counters.
 func (m *Manager) Summary() string {
 	return fmt.Sprintf("passes=%d delivered=%d carried=%d dup=%d failures=%d pending=%d",
 		m.Stats.Passes.Value(), m.Stats.Delivered.Value(), m.Stats.CarriedOver.Value(),
-		m.Stats.Duplicates.Value(), m.Stats.Failures.Value(), len(m.queue))
+		m.Stats.Duplicates.Value(), m.Stats.Failures.Value(), m.queue.Len())
 }
 
 // PassesFromWindows converts orbital visibility windows (durations since

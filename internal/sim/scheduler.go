@@ -3,9 +3,17 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/metrics"
 )
+
+// eventPool recycles Event objects across scheduler lifetimes. A scheduler's
+// own freelist covers the steady state within one run; the pool covers the
+// cold start, so a sweep constructing many hermetic schedulers (bench.RunMany)
+// allocates the event working set once per worker instead of once per run.
+// Events enter the pool only through Recycle, fully zeroed.
+var eventPool = sync.Pool{New: func() any { return new(Event) }}
 
 // The executive is a hierarchical timer wheel over absolute nanosecond
 // timestamps, replacing the earlier binary heap. Layout:
@@ -43,8 +51,15 @@ const (
 // Event is a handle to a scheduled callback. It can be cancelled until it
 // fires; cancelling an already-fired or already-cancelled event is a no-op.
 type Event struct {
-	at     Time
-	fn     func()
+	at Time
+	fn func()
+	// fnArg/arg is the argument-taking callback variant: one long-lived
+	// func(any) shared by many events, with the per-event state passed as
+	// arg. It lets a hot path (frame delivery) schedule per-item events
+	// without a per-item closure allocation. When fnArg is set it is the
+	// callback; fn is ignored.
+	fnArg  func(any)
+	arg    any
 	next   *Event     // intrusive link: bucket chain, or freelist chain
 	owner  *Scheduler // scheduler that enqueued the event (for Cancel bookkeeping)
 	fired  bool
@@ -196,7 +211,7 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // destroy causality. Scheduling exactly at Now is allowed and fires before
 // time advances further.
 func (s *Scheduler) Schedule(at Time, fn func()) *Event {
-	return s.schedule(at, fn, false)
+	return s.schedule(at, fn, nil, nil, false)
 }
 
 // ScheduleDetached queues fn like Schedule but returns no handle: the event
@@ -205,7 +220,16 @@ func (s *Scheduler) Schedule(at Time, fn func()) *Event {
 // completions, workload arrivals) use it to keep the event churn of a long
 // sweep allocation-free.
 func (s *Scheduler) ScheduleDetached(at Time, fn func()) {
-	s.schedule(at, fn, true)
+	s.schedule(at, fn, nil, nil, true)
+}
+
+// ScheduleArgDetached queues a detached event that calls fn(arg) at instant
+// at. The point over ScheduleDetached is allocation: a hot path delivering
+// many items shares ONE long-lived fn and threads the per-item state
+// through arg, so nothing escapes per event. Passing a pointer as arg is
+// allocation-free; non-pointer values may box.
+func (s *Scheduler) ScheduleArgDetached(at Time, fn func(any), arg any) {
+	s.schedule(at, nil, fn, arg, true)
 }
 
 // ScheduleAfter queues fn to run d after the current instant. Negative
@@ -226,11 +250,11 @@ func (s *Scheduler) ScheduleAfterDetached(d Duration, fn func()) {
 	s.ScheduleDetached(s.now.Add(d), fn)
 }
 
-func (s *Scheduler) schedule(at Time, fn func(), detached bool) *Event {
+func (s *Scheduler) schedule(at Time, fn func(), fnArg func(any), arg any, detached bool) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
-	if fn == nil {
+	if fn == nil && fnArg == nil {
 		panic("sim: schedule with nil callback")
 	}
 	e := s.free
@@ -241,9 +265,14 @@ func (s *Scheduler) schedule(at Time, fn func(), detached bool) *Event {
 		e.fired, e.cancel, e.overflow = false, false, false
 		s.nRecy++
 	} else {
-		e = &Event{owner: s}
+		// The process-wide pool supplies events recycled from finished
+		// schedulers (see Recycle), so a sweep of hermetic runs pays the
+		// event working set once, not per run.
+		e = eventPool.Get().(*Event)
+		*e = Event{owner: s}
 	}
 	e.at, e.fn, e.detached = at, fn, detached
+	e.fnArg, e.arg = fnArg, arg
 	// The L0 case is inlined here: most events land within the current
 	// 4096 ns window, and the indirect call into insert costs as much as
 	// the bucket push itself.
@@ -309,7 +338,7 @@ func (s *Scheduler) clearL0(sl int) {
 // garbage-collectable during long sweeps, and detached events return to the
 // recycle list.
 func (s *Scheduler) retire(e *Event) {
-	e.fn = nil
+	e.fn, e.fnArg, e.arg = nil, nil, nil
 	if e.detached {
 		e.next = s.free
 		s.free = e
@@ -405,7 +434,7 @@ func (s *Scheduler) Cancel(e *Event) {
 	}
 	e.cancel = true
 	// The closure is dead weight from here on.
-	e.fn = nil
+	e.fn, e.fnArg, e.arg = nil, nil, nil
 	s.nCanc++
 	if o := e.owner; o != nil {
 		o.live--
@@ -445,9 +474,13 @@ func (s *Scheduler) stepUntil(deadline Time) bool {
 			s.executed++
 			s.live--
 			s.nExec++
-			fn := e.fn
+			fn, fnArg, arg := e.fn, e.fnArg, e.arg
 			s.retire(e)
-			fn()
+			if fnArg != nil {
+				fnArg(arg)
+			} else {
+				fn()
+			}
 			return true
 		}
 		// Peek is valid but not an L0 head (upper level, overflow, or
@@ -486,12 +519,16 @@ func (s *Scheduler) stepUntil(deadline Time) bool {
 			s.executed++
 			s.live--
 			s.nExec++
-			fn := e.fn
+			fn, fnArg, arg := e.fn, e.fnArg, e.arg
 			// Retire before invoking: e is off the wheel and, if
 			// detached, has no outstanding references, so the callback
 			// may immediately reuse the slot for events it schedules.
 			s.retire(e)
-			fn()
+			if fnArg != nil {
+				fnArg(arg)
+			} else {
+				fn()
+			}
 			return true
 		}
 
@@ -622,6 +659,22 @@ func (s *Scheduler) RunUntil(deadline Time) {
 
 // RunFor advances the simulation by d. Shorthand for RunUntil(Now+d).
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Recycle donates the scheduler's retired-event freelist to the process-wide
+// event pool and clears it. Call when the scheduler is finished (a hermetic
+// run has ended) so the next scheduler starts with a warm pool instead of
+// allocating its event population one object at a time. Only the freelist is
+// donated — events still pending in the wheel may have live handles and are
+// left to the garbage collector. The scheduler remains usable afterwards.
+func (s *Scheduler) Recycle() {
+	for e := s.free; e != nil; {
+		next := e.next
+		*e = Event{}
+		eventPool.Put(e)
+		e = next
+	}
+	s.free = nil
+}
 
 // Stop halts Run/RunUntil after the current callback returns. Pending events
 // are preserved; the simulation can be resumed.

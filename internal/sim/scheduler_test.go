@@ -303,6 +303,58 @@ func TestFormatRate(t *testing.T) {
 	}
 }
 
+// TestScheduleArgDetached exercises the shared-callback variant: events
+// carry per-item state through arg instead of a per-event closure, fire in
+// timestamp-then-FIFO order like any other event, and interleave correctly
+// with closure events at the same instant.
+func TestScheduleArgDetached(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	record := func(v any) { got = append(got, *v.(*int)) }
+	vals := []int{10, 20, 30, 40}
+	s.ScheduleArgDetached(Time(5), record, &vals[1])
+	s.ScheduleArgDetached(Time(2), record, &vals[0])
+	s.ScheduleArgDetached(Time(5), record, &vals[2]) // same instant: FIFO after vals[1]
+	s.Schedule(Time(5), func() { got = append(got, 35) })
+	s.ScheduleArgDetached(Time(9), record, &vals[3])
+	s.Run()
+	want := []int{10, 20, 30, 35, 40}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestScheduleArgDetachedRecycles pins the allocation contract: pointer
+// args thread through the event freelist without boxing, so the steady
+// state is allocation-free.
+func TestScheduleArgDetachedRecycles(t *testing.T) {
+	s := NewScheduler()
+	var fired int
+	var arg int
+	var tick func(any)
+	tick = func(v any) {
+		fired++
+		if fired < 1000 {
+			s.ScheduleArgDetached(s.Now().Add(Microsecond), tick, v)
+		}
+	}
+	s.ScheduleArgDetached(s.Now().Add(Microsecond), tick, &arg)
+	s.Run() // warm the freelist
+	allocs := testing.AllocsPerRun(10, func() {
+		fired = 0
+		s.ScheduleArgDetached(s.Now().Add(Microsecond), tick, &arg)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arg events allocated %.1f/run, want 0", allocs)
+	}
+}
+
 // BenchmarkSchedulerChurn measures the schedule→fire cycle that dominates a
 // simulation run, with a live metrics registry attached — the instrumented
 // path is the production path. Detached events recycle through the

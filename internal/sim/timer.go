@@ -41,14 +41,14 @@ func (t *Timer) Start(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	t.ev = t.sched.schedule(t.sched.now.Add(d), t.expireFn, true)
+	t.ev = t.sched.schedule(t.sched.now.Add(d), t.expireFn, nil, nil, true)
 }
 
 // StartAt arms the timer to fire at the given instant, replacing any earlier
 // deadline.
 func (t *Timer) StartAt(at Time) {
 	t.Stop()
-	t.ev = t.sched.schedule(at, t.expireFn, true)
+	t.ev = t.sched.schedule(at, t.expireFn, nil, nil, true)
 }
 
 // Stop disarms the timer. Stopping a stopped timer is a no-op. It reports
@@ -141,7 +141,7 @@ func (t *Ticker) SetPeriod(p Duration) {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.sched.schedule(t.sched.now.Add(t.period), t.tickFn, true)
+	t.ev = t.sched.schedule(t.sched.now.Add(t.period), t.tickFn, nil, nil, true)
 }
 
 func (t *Ticker) tick() {

@@ -1,0 +1,57 @@
+package workload
+
+// arenaChunkSize is the default chunk the arena grows by. It comfortably
+// holds hundreds of the experiments' 1 KiB payloads per chunk while staying
+// small enough that a pool of per-worker arenas is cheap to keep warm.
+const arenaChunkSize = 1 << 18
+
+// Arena is a run-scoped bump allocator for datagram payloads. A run that
+// offers tens of thousands of datagrams allocates each payload with
+// make([]byte, size) otherwise — the single largest allocation source in
+// the experiment hot path. The arena hands out zeroed sub-slices of large
+// chunks and, on Reset, reuses the chunks wholesale for the next run.
+//
+// Ownership contract: every payload returned by Alloc remains live until
+// Reset. Reset may only be called once nothing from the run retains any
+// payload — in the bench harness that is after the run's scheduler, pair,
+// and checker have all been dropped or drained. The arena is not safe for
+// concurrent use; the parallel experiment engine gives each worker its own.
+type Arena struct {
+	chunks [][]byte
+	cur    int // index of the chunk being bumped
+	off    int // bump offset within chunks[cur]
+}
+
+// Alloc returns a zeroed slice of n bytes with capacity exactly n (appends
+// by the caller cannot scribble into a neighbouring payload).
+func (a *Arena) Alloc(n int) []byte {
+	if n < 0 {
+		panic("workload: negative payload size")
+	}
+	for {
+		if a.cur == len(a.chunks) {
+			size := arenaChunkSize
+			if n > size {
+				size = n
+			}
+			a.chunks = append(a.chunks, make([]byte, size))
+		}
+		c := a.chunks[a.cur]
+		if n <= len(c)-a.off {
+			s := c[a.off : a.off+n : a.off+n]
+			a.off += n
+			clear(s)
+			return s
+		}
+		// Chunk exhausted; the tail remainder is wasted, which is bounded
+		// by one payload per chunk.
+		a.cur++
+		a.off = 0
+	}
+}
+
+// Reset makes every chunk reusable. See the ownership contract above: the
+// caller asserts that no payload from the previous run is still referenced.
+func (a *Arena) Reset() {
+	a.cur, a.off = 0, 0
+}

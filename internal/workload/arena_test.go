@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/arq"
+	"repro/internal/sim"
+)
+
+func TestArenaAllocZeroedAndDisjoint(t *testing.T) {
+	var a Arena
+	p1 := a.Alloc(100)
+	p2 := a.Alloc(100)
+	if len(p1) != 100 || len(p2) != 100 {
+		t.Fatalf("lengths %d, %d, want 100", len(p1), len(p2))
+	}
+	if cap(p1) != 100 {
+		t.Fatalf("cap %d, want exactly 100 (no append bleed)", cap(p1))
+	}
+	for i := range p1 {
+		p1[i] = 0xAA
+	}
+	for i, b := range p2 {
+		if b != 0 {
+			t.Fatalf("p2[%d] = %#x, want 0 (disjoint, zeroed)", i, b)
+		}
+	}
+}
+
+func TestArenaResetReusesAndRezeroes(t *testing.T) {
+	var a Arena
+	p := a.Alloc(64)
+	for i := range p {
+		p[i] = 0xFF
+	}
+	a.Reset()
+	q := a.Alloc(64)
+	if &p[0] != &q[0] {
+		t.Fatal("Reset did not reuse the chunk")
+	}
+	for i, b := range q {
+		if b != 0 {
+			t.Fatalf("q[%d] = %#x, want 0 after Reset", i, b)
+		}
+	}
+}
+
+func TestArenaOversizedAndChunkRollover(t *testing.T) {
+	var a Arena
+	big := a.Alloc(arenaChunkSize + 1)
+	if len(big) != arenaChunkSize+1 {
+		t.Fatalf("oversized alloc len %d", len(big))
+	}
+	// Fill chunks past a boundary; every payload stays intact.
+	const n = 1024
+	ps := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p := a.Alloc(1000)
+		p[0] = byte(i)
+		ps = append(ps, p)
+	}
+	for i, p := range ps {
+		if p[0] != byte(i) {
+			t.Fatalf("payload %d scribbled: %#x", i, p[0])
+		}
+	}
+}
+
+func TestArenaSteadyStateNoAllocs(t *testing.T) {
+	var a Arena
+	for i := 0; i < 100; i++ {
+		a.Alloc(1000)
+	}
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			a.Alloc(1000)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena allocated %.1f/run, want 0", allocs)
+	}
+}
+
+// TestGeneratorTickNoAllocs pins the zero-alloc workload tick: with an
+// arena attached, offering a datagram through a consuming sink allocates
+// nothing in steady state (ISSUE 6 satellite).
+func TestGeneratorTickNoAllocs(t *testing.T) {
+	sched := sim.NewScheduler()
+	var arena Arena
+	sink := func(dg arq.Datagram) bool { return true }
+	g := NewConstantRate(sched, sink, sim.Millisecond, 1000, -1)
+	g.UseArena(&arena)
+	// Warm the scheduler freelist and the arena's first chunk.
+	sched.RunUntil(sim.Time(0).Add(100 * sim.Millisecond))
+	arena.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		sched.RunUntil(sched.Now().Add(100 * sim.Millisecond))
+		arena.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("workload tick allocated %.1f/run, want 0", allocs)
+	}
+}
+
+// TestGeneratorRefusalReusesPayload verifies a refused offer retries with
+// the same backing payload rather than a fresh allocation.
+func TestGeneratorRefusalReusesPayload(t *testing.T) {
+	sched := sim.NewScheduler()
+	var arena Arena
+	var taken []arq.Datagram
+	refuse := true
+	sink := func(dg arq.Datagram) bool {
+		if refuse {
+			return false
+		}
+		taken = append(taken, dg)
+		return true
+	}
+	g := NewConstantRate(sched, sink, sim.Millisecond, 100, 2)
+	g.UseArena(&arena)
+	sched.RunUntil(sim.Time(0).Add(3 * sim.Millisecond))
+	refused := g.Refused
+	if refused == 0 {
+		t.Fatal("sink never refused")
+	}
+	refuse = false
+	sched.RunUntil(sim.Time(0).Add(10 * sim.Millisecond))
+	if len(taken) != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", len(taken))
+	}
+	// All refusals retried the one pending payload: the arena handed out
+	// exactly as many payloads as datagrams accepted.
+	used := arena.cur*arenaChunkSize + arena.off
+	if want := 2 * 100; used != want {
+		t.Fatalf("arena consumed %d bytes, want %d (refusals must reuse)", used, want)
+	}
+}

@@ -27,11 +27,23 @@ type Generator struct {
 	remaining int // total datagrams still to offer; -1 = unlimited
 	stopped   bool
 
+	// arena, when set, supplies payload memory (see UseArena).
+	arena *Arena
+	// pending holds the payload of a refused offer for the retry, so a
+	// saturating source probing a full sender does not burn an allocation
+	// per refusal.
+	pending []byte
+
 	// Offered and Refused count sink attempts.
 	Offered, Refused uint64
 
 	next func() // arms the next arrival
 }
+
+// UseArena directs payload allocation through a, under a's ownership
+// contract (payloads live until a.Reset). Call it before the generator's
+// first arrival fires; passing nil reverts to per-datagram make.
+func (g *Generator) UseArena(a *Arena) { g.arena = a }
 
 // Stop halts the generator.
 func (g *Generator) Stop() { g.stopped = true }
@@ -43,12 +55,24 @@ func (g *Generator) NextID() uint64 { return g.nextID }
 func (g *Generator) Done() bool { return g.remaining == 0 }
 
 func (g *Generator) offer() bool {
-	dg := arq.Datagram{ID: g.nextID, Payload: make([]byte, g.size)}
+	payload := g.pending
+	if payload == nil {
+		if g.arena != nil {
+			payload = g.arena.Alloc(g.size)
+		} else {
+			payload = make([]byte, g.size)
+		}
+	}
+	dg := arq.Datagram{ID: g.nextID, Payload: payload}
 	g.Offered++
 	if !g.sink(dg) {
+		// A refusing sink does not retain the datagram; reuse the payload
+		// at the next attempt.
+		g.pending = payload
 		g.Refused++
 		return false
 	}
+	g.pending = nil
 	g.nextID++
 	if g.remaining > 0 {
 		g.remaining--
