@@ -12,9 +12,18 @@ test:
 # the test binary so a regression that only bites the benchmark paths fails
 # CI instead of the next perf investigation.
 .PHONY: ci
-ci: test cover faultmatrix lint allocsmoke
+ci: test cover faultmatrix lint allocsmoke constsmoke
 	go test -race ./...
 	go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchtime 100x -benchmem
+
+# Constellation smoke (ISSUE 8): the 64-satellite Walker scenario on the
+# sharded conservative engine, under the race detector, plus the
+# shards-1-vs-8 byte-identical determinism pin. The engine's only unsafe
+# surface is the inter-shard mailboxes and the barrier handshake, so the
+# race run here is the load-bearing check, not ceremony.
+.PHONY: constsmoke
+constsmoke:
+	go test ./internal/shard -race -count=1 -run 'TestConstellationSmoke|TestConstellationShardInvariance|TestEngine'
 
 # Allocation-budget smoke (ISSUE 6): the E4 sweep must stay inside the
 # allocs/op budget pinned in BENCH_PR6.json (229483 before the per-run
@@ -69,16 +78,17 @@ cover:
 	go tool cover -func=coverage.out > coverage.txt
 	@tail -1 coverage.txt
 
-# Micro-benchmarks for the hot paths the allocation diet targets. The
-# combined output lands in BENCH_PR6.json (via cmd/benchjson) as the
-# machine-readable snapshot the perf table in EXPERIMENTS.md cites;
-# BENCH_PR3.json is the frozen pre-arena baseline the table compares
-# against and is never rewritten.
+# Micro-benchmarks for the hot paths the allocation diet targets, plus the
+# constellation-scale shard sweep. The combined output lands in
+# BENCH_PR8.json (via cmd/benchjson) as the machine-readable snapshot the
+# perf tables in EXPERIMENTS.md cite; BENCH_PR3.json (pre-arena) and
+# BENCH_PR6.json (pre-shard) are frozen baselines and are never rewritten.
 .PHONY: bench
 bench:
 	{ go test ./internal/frame -run xxx -bench 'BenchmarkEncodeI|BenchmarkDecode' -benchmem; \
 	  go test ./internal/crc -run xxx -bench . -benchmem; \
 	  go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchmem; \
 	  go test ./internal/channel -run xxx -bench BenchmarkPipeSendDeliver -benchmem; \
+	  go test ./internal/shard -run xxx -bench BenchmarkConstellation -benchtime 1x -benchmem; \
 	  go test . -run xxx -bench 'BenchmarkE4|BenchmarkLAMSTransfer' -benchtime 1x -benchmem; } \
-	| go run ./cmd/benchjson -o BENCH_PR6.json
+	| go run ./cmd/benchjson -o BENCH_PR8.json

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E18)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E19)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	figures := flag.Bool("figures", false, "render each experiment's series as terminal charts")
 	withMetrics := flag.Bool("metrics", false,
@@ -103,5 +103,6 @@ func describe() [][2]string {
 		{"E16", "delay vs throughput trade-off under rising load"},
 		{"E17", "checkpoint interval W_cp ablation"},
 		{"E18", "multi-hop relay over every registered engine"},
+		{"E19", "constellation-scale sharded simulation (64→1,024 satellites)"},
 	}
 }

@@ -93,6 +93,30 @@ func (m *Metrics) NoteDelivery(now sim.Time, dg Datagram) {
 	m.DeliveryDelay.Add(float64(now.Sub(dg.EnqueuedAt)))
 }
 
+// MergeSplit combines the two Metrics blocks of a split pair (sender entity
+// and receiver entity on different schedulers, each with its own block; see
+// Engine.NewSplitPair) into the single view a report reads. Sender-side
+// fields come from sender, receiver-side fields from receiver, and
+// ControlSent — the one counter both sides bump — is summed. The result is a
+// read-only snapshot: its Histogram/Welford fields alias the source blocks'
+// internals, so call it only when both shards are quiesced and do not Add to
+// the returned value.
+func MergeSplit(sender, receiver *Metrics) Metrics {
+	m := *sender
+	m.ControlSent.Addn(receiver.ControlSent.Value())
+	m.Delivered = receiver.Delivered
+	m.DeliveredBits = receiver.DeliveredBits
+	m.RecvBufOcc = receiver.RecvBufOcc
+	m.RecvDropped = receiver.RecvDropped
+	m.DupSuppressed = receiver.DupSuppressed
+	m.NAKsSent = receiver.NAKsSent
+	m.Checkpoints = receiver.Checkpoints
+	m.FirstDelivery = receiver.FirstDelivery
+	m.LastDelivery = receiver.LastDelivery
+	m.DeliveryDelay = receiver.DeliveryDelay
+	return m
+}
+
 // Throughput returns delivered payload bits per second of virtual time over
 // [start, end]. Zero if the window is empty.
 func (m *Metrics) Throughput(start, end sim.Time) float64 {

@@ -27,6 +27,14 @@ type EngineConfig interface {
 // deliver and onFailure may be nil.
 type NewPairFunc func(sched *sim.Scheduler, link *channel.Link, cfg EngineConfig, deliver DeliverFunc, onFailure FailureFunc) Pair
 
+// SplitPairFunc builds a pair whose two entities run on different
+// schedulers: the sender (I-frame source, driving link.AtoB) on sendSched,
+// the receiver (driving link.BtoA) on recvSched. The shard engine uses it to
+// home each end of a crosslink session on the shard owning that satellite.
+// Implementations must give each entity its own Metrics block (the two run
+// on different goroutines) and merge them in Pair.Metrics — see MergeSplit.
+type SplitPairFunc func(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg EngineConfig, deliver DeliverFunc, onFailure FailureFunc) Pair
+
 // Registration describes one ARQ engine in the protocol registry.
 type Registration struct {
 	// Name is the canonical flag value ("lams", "srhdlc", "gbn").
@@ -39,6 +47,10 @@ type Registration struct {
 	Defaults func(roundTrip sim.Duration) EngineConfig
 	// New builds a wired pair.
 	New NewPairFunc
+	// NewSplit builds a pair split across two schedulers. Optional: engines
+	// without it can still run under the shard engine when both ends land
+	// on the same shard (Engine.NewSplitPair falls back to New).
+	NewSplit SplitPairFunc
 }
 
 var (
@@ -168,4 +180,19 @@ func (e Engine) NewPair(sched *sim.Scheduler, link *channel.Link, deliver Delive
 		panic("arq: NewPair on zero Engine")
 	}
 	return e.reg.New(sched, link, e.cfg, deliver, onFailure)
+}
+
+// NewSplitPair builds a pair whose sender entity runs on sendSched and whose
+// receiver entity runs on recvSched (the shard engine's session seam). For an
+// engine registered without split support it falls back to New when both
+// schedulers are the same, and panics otherwise — a cross-shard session
+// cannot be faked on one wheel without breaking the ownership model.
+func (e Engine) NewSplitPair(sendSched, recvSched *sim.Scheduler, link *channel.Link, deliver DeliverFunc, onFailure FailureFunc) Pair {
+	if e.reg.NewSplit != nil {
+		return e.reg.NewSplit(sendSched, recvSched, link, e.cfg, deliver, onFailure)
+	}
+	if sendSched == recvSched {
+		return e.NewPair(sendSched, link, deliver, onFailure)
+	}
+	panic(fmt.Sprintf("arq: engine %q does not support split pairs across schedulers", e.reg.Name))
 }

@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// withConstellationShards mirrors withWorkers for the constellation knob.
+func withConstellationShards(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetConstellationShards(n)
+	defer SetConstellationShards(0)
+	fn()
+}
+
+// TestE19ShardCountInvariance pins the sharded engine's determinism
+// contract at the experiment level, in the same style as the worker-count
+// pins above it in this package: the full E19 render — delivery counts,
+// delay percentiles, handover churn, utilization, executed events, round
+// count — must be byte-identical at 1 shard and 8 shards.
+func TestE19ShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("constellation suite skipped in -short mode")
+	}
+	var one, eight string
+	withConstellationShards(t, 1, func() { one = E19ConstellationScale().Render() })
+	withConstellationShards(t, 8, func() { eight = E19ConstellationScale().Render() })
+	if one != eight {
+		t.Fatalf("E19 output differs between 1 and 8 shards:\n--- shards=1\n%s\n--- shards=8\n%s", one, eight)
+	}
+}
+
+func TestSetConstellationShards(t *testing.T) {
+	SetConstellationShards(3)
+	if got := ConstellationShards(); got != 3 {
+		t.Fatalf("ConstellationShards() = %d, want 3", got)
+	}
+	SetConstellationShards(-1) // negative restores the default
+	if got := ConstellationShards(); got < 1 || got > 8 {
+		t.Fatalf("default ConstellationShards() = %d", got)
+	}
+}

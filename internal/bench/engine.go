@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sim"
 )
 
 // This file is the parallel experiment engine. Every Run is hermetic — it
@@ -37,19 +39,12 @@ func Workers() int {
 }
 
 // DeriveSeed maps a base seed and a point index to a statistically
-// independent stream seed using the SplitMix64 finalizer — the same
-// construction the simulator uses to expand one seed into xoshiro state.
-// Deriving from (base, i) rather than handing out seeds from a shared
-// counter keeps seed assignment independent of scheduling order.
+// independent stream seed. It is sim.DeriveSeed re-exported at the layer
+// sweeps are written against; the shard engine derives its per-link streams
+// from the same function, so a sweep seed and a constellation seed expand
+// identically.
 func DeriveSeed(base uint64, i int) uint64 {
-	z := base + (uint64(i)+1)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	if z == 0 {
-		z = 0x9E3779B97F4A7C15 // xoshiro must not be seeded all-zero
-	}
-	return z
+	return sim.DeriveSeed(base, i)
 }
 
 // RunMany executes every config and returns results in input order. Seeds

@@ -1027,6 +1027,7 @@ func All() []*Result {
 		E16DelayThroughput(),
 		E17CheckpointIntervalAblation(),
 		E18MultiHopRelay(),
+		E19ConstellationScale(),
 	}
 }
 
@@ -1051,6 +1052,7 @@ func ByID(id string) func() *Result {
 		"E16": E16DelayThroughput,
 		"E17": E17CheckpointIntervalAblation,
 		"E18": E18MultiHopRelay,
+		"E19": E19ConstellationScale,
 	}
 	return m[id]
 }

@@ -73,11 +73,21 @@ type PipeConfig struct {
 }
 
 // PipeStats counts traffic for reports and invariant checks.
+//
+// Ownership under the shard engine (remote pipes): every field except
+// FramesDelivered and FramesLost is written only by Send, i.e. by the
+// shard owning the transmit side; FramesDelivered and FramesLost are
+// written only by DeliverInbound, i.e. by the shard owning the receive
+// side — except that a send into a down pipe counts into FramesLostTx
+// (transmit-owned) instead, so the two shards never touch the same
+// counter. Total losses for a remote pipe are FramesLost + FramesLostTx;
+// local pipes never touch FramesLostTx.
 type PipeStats struct {
 	FramesSent      stats.Counter
 	FramesDelivered stats.Counter
 	FramesCorrupted stats.Counter
 	FramesLost      stats.Counter // dropped during link failure
+	FramesLostTx    stats.Counter // remote pipes only: dropped at send while down
 	BitsSent        stats.Counter
 	IFrames         stats.Counter
 	CFrames         stats.Counter
@@ -96,6 +106,19 @@ type Pipe struct {
 	busyUntil   sim.Time // when the wire frees up
 	lastArrival sim.Time // FIFO watermark
 	down        bool
+	// rxDown is the receive side's own down flag, used instead of down by
+	// DeliverInbound when the pipe is remote (post != nil): the two ends of
+	// a remote pipe live on different shards, so each side owns its flag
+	// and a handover toggles both through events on the respective shard.
+	rxDown bool
+
+	// post, when non-nil, marks the pipe remote: its transmit side and its
+	// receive side (handler) run on different schedulers. Send hands the
+	// in-flight frame and its arrival time to post — the shard engine's
+	// mailbox — instead of scheduling the arrival locally; the receiving
+	// shard later calls DeliverInbound. Installed once before the
+	// simulation starts and read-only afterwards.
+	post func(at sim.Time, f *frame.Frame)
 
 	// deliverFn is p.deliver bound once at construction, so every arrival
 	// can be scheduled through ScheduleArgDetached with the in-flight
@@ -209,8 +232,14 @@ func (p *Pipe) Send(f *frame.Frame) {
 		// squelches rather than serializes, so a dead-beam frame occupies
 		// no wire time: the wire is immediately usable at restoration, and
 		// an outage-era retransmission flood cannot leak airtime into
-		// post-restoration queueing.
-		p.Stats.FramesLost.Inc()
+		// post-restoration queueing. Remote pipes count the drop into the
+		// transmit-owned counter so the receive shard's FramesLost writes
+		// never race with this one.
+		if p.post != nil {
+			p.Stats.FramesLostTx.Inc()
+		} else {
+			p.Stats.FramesLost.Inc()
+		}
 		p.mLost.Inc()
 		if p.cfg.Tap != nil {
 			p.cfg.Tap(now, "drop", g)
@@ -251,19 +280,38 @@ func (p *Pipe) Send(f *frame.Frame) {
 		arrival = p.lastArrival + 1
 	}
 	p.lastArrival = arrival
+	if p.post != nil {
+		p.post(arrival, g)
+		return
+	}
 	p.sched.ScheduleArgDetached(arrival, p.deliverFn, g)
 }
 
-// deliver hands an arrived in-flight frame to the handler (or counts it
-// lost). It is the arrival-event callback, shared across all sends and
-// invoked with the in-flight frame as the argument.
+// deliver hands an arrived in-flight frame to the handler. It is the local
+// arrival-event callback, shared across all sends and invoked with the
+// in-flight frame as the argument.
 func (p *Pipe) deliver(v any) {
-	g := v.(*frame.Frame)
-	if p.down || p.handler == nil {
+	p.DeliverInbound(p.sched.Now(), v.(*frame.Frame))
+}
+
+// DeliverInbound completes the arrival of an in-flight frame: it hands g to
+// the handler, or counts it lost when the pipe is dead (rxDown for remote
+// pipes, down for local ones) or handler-less. Local pipes reach it through
+// their own arrival events; for remote pipes it is the re-entry point the
+// shard engine calls — on the receiving shard's goroutine, with now set to
+// the stamped arrival time — after the frame crossed the mailbox.
+func (p *Pipe) DeliverInbound(now sim.Time, g *frame.Frame) {
+	dead := p.rxDown || p.handler == nil
+	if !dead && p.post == nil {
+		// The shared down flag belongs to the transmit side; only a local
+		// pipe (both ends on one scheduler) may read it here.
+		dead = p.down
+	}
+	if dead {
 		p.Stats.FramesLost.Inc()
 		p.mLost.Inc()
 		if p.cfg.Tap != nil {
-			p.cfg.Tap(p.sched.Now(), "drop", g)
+			p.cfg.Tap(now, "drop", g)
 		}
 		frame.Put(g)
 		return
@@ -271,13 +319,13 @@ func (p *Pipe) deliver(v any) {
 	p.Stats.FramesDelivered.Inc()
 	p.mDelivered.Inc()
 	if p.cfg.Tap != nil {
-		p.cfg.Tap(p.sched.Now(), "rx", g)
+		p.cfg.Tap(now, "rx", g)
 	}
 	// Decide recycling before the handler runs: an information-frame
 	// handler may Put the frame itself (see Handler), and reading g
 	// afterwards would race with its reuse.
 	recycle := g.Kind.Control() || g.Corrupted
-	p.handler(p.sched.Now(), g)
+	p.handler(now, g)
 	if recycle {
 		frame.Put(g)
 	}
@@ -286,10 +334,28 @@ func (p *Pipe) deliver(v any) {
 // SetDown marks the pipe dead (true) or alive (false). Frames already in
 // flight when the pipe goes down are lost at arrival time; frames sent while
 // down are lost immediately, without occupying wire time.
+//
+// For a remote pipe this flag governs only the transmit side (sends while
+// down); the receive side's in-flight losses are governed by SetRxDown,
+// which the owning shard must toggle with its own event at the same instant.
 func (p *Pipe) SetDown(down bool) { p.down = down }
+
+// SetRxDown marks the receive side of a remote pipe dead or alive. It must
+// only be called from the shard owning the pipe's handler (or before the
+// simulation starts). Local pipes never need it: their DeliverInbound reads
+// the shared down flag directly.
+func (p *Pipe) SetRxDown(down bool) { p.rxDown = down }
 
 // Down reports whether the pipe is dead.
 func (p *Pipe) Down() bool { return p.down }
+
+// SetRemote marks the pipe's two ends as living on different schedulers and
+// installs the transport between them: Send will call post(arrival, frame)
+// — on the transmit shard's goroutine — instead of scheduling the arrival
+// locally, and the receiving shard is responsible for invoking
+// DeliverInbound(arrival, frame) once its clock reaches the stamp. Must be
+// installed before the simulation starts.
+func (p *Pipe) SetRemote(post func(at sim.Time, f *frame.Frame)) { p.post = post }
 
 // Link is a full-duplex connection: two independent pipes. By link-model
 // assumption 2 all links are full duplex; the two directions may differ in
@@ -304,6 +370,21 @@ func NewLink(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Link {
 	return &Link{
 		AtoB: NewPipe(sched, cfg, rng.Split()),
 		BtoA: NewPipe(sched, cfg, rng.Split()),
+	}
+}
+
+// NewSplitLink builds a link whose two directions live on different
+// schedulers: AtoB transmits from sendSched (the forward/data direction of
+// a split DLC session), BtoA from recvSched (the reverse/control
+// direction). A pipe's scheduler is its transmit-side clock — with
+// SetRemote installed the arrival side never touches it — so each pipe is
+// homed where its Send calls originate. Both directions still split their
+// RNG streams from one rng, in the same order as NewLink, so a split link
+// consumes randomness identically to a local one.
+func NewSplitLink(sendSched, recvSched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Link {
+	return &Link{
+		AtoB: NewPipe(sendSched, cfg, rng.Split()),
+		BtoA: NewPipe(recvSched, cfg, rng.Split()),
 	}
 }
 

@@ -14,6 +14,11 @@ type Pair struct {
 	Receiver *Receiver
 	cfg      Config
 	metrics  *arq.Metrics
+	// rmetrics is non-nil only for split pairs (NewSplitPair): the receiver
+	// entity runs on another scheduler and gets its own block; Metrics
+	// merges the two on demand into merged.
+	rmetrics *arq.Metrics
+	merged   arq.Metrics
 	link     *channel.Link
 }
 
@@ -27,6 +32,20 @@ func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.D
 	link.AtoB.SetHandler(r.HandleFrame)
 	link.BtoA.SetHandler(s.HandleFrame)
 	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: m, link: link}
+}
+
+// NewSplitPair is NewPair with the sender entity on sendSched and the
+// receiver entity on recvSched, for sessions split across shard boundaries.
+// Each side gets its own metrics block (merged on read); the shard engine
+// must route link.AtoB to recvSched's shard and link.BtoA back (SetRemote).
+func NewSplitPair(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc, onFailure arq.FailureFunc) *Pair {
+	ms, mr := &arq.Metrics{}, &arq.Metrics{}
+	s := NewSender(sendSched, link.AtoB, cfg, ms)
+	s.SetOnFailure(onFailure)
+	r := NewReceiver(recvSched, link.BtoA, cfg, mr, deliver)
+	link.AtoB.SetHandler(r.HandleFrame)
+	link.BtoA.SetHandler(s.HandleFrame)
+	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: ms, rmetrics: mr, link: link}
 }
 
 // Start activates both ends.
@@ -57,8 +76,16 @@ func (p *Pair) Outstanding() int { return p.Sender.Outstanding() }
 // Failed reports whether the sender declared the link failed.
 func (p *Pair) Failed() bool { return p.Sender.Failed() }
 
-// Metrics exposes the pair's shared measurement block.
-func (p *Pair) Metrics() *arq.Metrics { return p.metrics }
+// Metrics exposes the pair's measurement block. For a split pair the two
+// per-entity blocks are merged on demand; call only while both shards are
+// quiesced (between rounds or after the run).
+func (p *Pair) Metrics() *arq.Metrics {
+	if p.rmetrics == nil {
+		return p.metrics
+	}
+	p.merged = arq.MergeSplit(p.metrics, p.rmetrics)
+	return &p.merged
+}
 
 // Link exposes the underlying simulated link.
 func (p *Pair) Link() *channel.Link { return p.link }

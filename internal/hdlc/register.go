@@ -22,7 +22,8 @@ func init() {
 			c.Mode = SelectiveRepeat
 			return c
 		},
-		New: newPairFor("srhdlc", SelectiveRepeat),
+		New:      newPairFor("srhdlc", SelectiveRepeat),
+		NewSplit: newSplitPairFor("srhdlc", SelectiveRepeat),
 	})
 	arq.Register(arq.Registration{
 		Name:    "gbn",
@@ -33,7 +34,8 @@ func init() {
 			c.Mode = GoBackN
 			return c
 		},
-		New: newPairFor("gbn", GoBackN),
+		New:      newPairFor("gbn", GoBackN),
+		NewSplit: newSplitPairFor("gbn", GoBackN),
 	})
 }
 
@@ -45,5 +47,16 @@ func newPairFor(name string, mode Mode) arq.NewPairFunc {
 		}
 		c.Mode = mode
 		return NewPair(sched, link, c, deliver, onFailure)
+	}
+}
+
+func newSplitPairFor(name string, mode Mode) arq.SplitPairFunc {
+	return func(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg arq.EngineConfig, deliver arq.DeliverFunc, onFailure arq.FailureFunc) arq.Pair {
+		c, ok := cfg.(Config)
+		if !ok {
+			panic(fmt.Sprintf("hdlc: engine %q given %T, want hdlc.Config", name, cfg))
+		}
+		c.Mode = mode
+		return NewSplitPair(sendSched, recvSched, link, c, deliver, onFailure)
 	}
 }

@@ -16,6 +16,11 @@ type Pair struct {
 	Receiver *Receiver
 	cfg      Config
 	metrics  *arq.Metrics
+	// rmetrics is non-nil only for split pairs (NewSplitPair): the receiver
+	// entity runs on another scheduler and gets its own block; Metrics
+	// merges the two on demand into merged.
+	rmetrics *arq.Metrics
+	merged   arq.Metrics
 	link     *channel.Link
 }
 
@@ -27,6 +32,22 @@ func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.D
 	link.AtoB.SetHandler(r.HandleFrame)
 	link.BtoA.SetHandler(s.HandleFrame)
 	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: m, link: link}
+}
+
+// NewSplitPair is NewPair for a session whose two satellites live on
+// different shards: the sender entity and its timers run on sendSched, the
+// receiver entity on recvSched. The entities are unchanged — the sans-IO
+// construction already takes scheduler and wire separately — but each side
+// gets its own metrics block so the two shards never write the same counter,
+// and link.AtoB must carry frames from sendSched's shard to recvSched's
+// (SetRemote) and link.BtoA the reverse. deliver runs on recvSched's shard.
+func NewSplitPair(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc, onFailure arq.FailureFunc) *Pair {
+	ms, mr := &arq.Metrics{}, &arq.Metrics{}
+	s := NewSender(sendSched, link.AtoB, cfg, ms, onFailure)
+	r := NewReceiver(recvSched, link.BtoA, cfg, mr, deliver)
+	link.AtoB.SetHandler(r.HandleFrame)
+	link.BtoA.SetHandler(s.HandleFrame)
+	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: ms, rmetrics: mr, link: link}
 }
 
 // Start activates both ends (receiver checkpointing begins immediately).
@@ -55,8 +76,16 @@ func (p *Pair) Outstanding() int { return p.Sender.Outstanding() }
 // Failed reports whether the sender declared the link failed.
 func (p *Pair) Failed() bool { return p.Sender.Failed() }
 
-// Metrics exposes the pair's shared measurement block.
-func (p *Pair) Metrics() *arq.Metrics { return p.metrics }
+// Metrics exposes the pair's measurement block. For a split pair the two
+// per-entity blocks are merged on demand; call only while both shards are
+// quiesced (between rounds or after the run).
+func (p *Pair) Metrics() *arq.Metrics {
+	if p.rmetrics == nil {
+		return p.metrics
+	}
+	p.merged = arq.MergeSplit(p.metrics, p.rmetrics)
+	return &p.merged
+}
 
 // Link exposes the underlying simulated link.
 func (p *Pair) Link() *channel.Link { return p.link }

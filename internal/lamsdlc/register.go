@@ -27,5 +27,12 @@ func init() {
 			}
 			return NewPair(sched, link, c, deliver, onFailure)
 		},
+		NewSplit: func(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg arq.EngineConfig, deliver arq.DeliverFunc, onFailure arq.FailureFunc) arq.Pair {
+			c, ok := cfg.(Config)
+			if !ok {
+				panic(fmt.Sprintf("lamsdlc: engine %q given %T, want lamsdlc.Config", "lams", cfg))
+			}
+			return NewSplitPair(sendSched, recvSched, link, c, deliver, onFailure)
+		},
 	})
 }

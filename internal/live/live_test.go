@@ -223,20 +223,27 @@ func TestLiveTransferOverNetPipe(t *testing.T) {
 	}
 }
 
-// corruptingConn flips a byte in every kth written frame-buffer, modelling
-// a noisy wire under the real codec: the receiver must detect the damage
-// via FCS and recover via the NAK machinery.
+// corruptingConn flips a byte in roughly one of every k written
+// frame-buffers, modelling a noisy wire under the real codec: the receiver
+// must detect the damage via FCS and recover via the NAK machinery. The
+// choice is a seeded xorshift draw rather than a fixed stride: a
+// deterministic every-kth pattern can phase-lock with the periodic
+// checkpoint-driven retransmit cadence and damage the same frame on every
+// recovery attempt (observed as an occasional stall at 28/30 on slow
+// hosts).
 type corruptingConn struct {
 	net.Conn
-	mu    sync.Mutex
-	k     int
-	count int
+	mu  sync.Mutex
+	k   int
+	rng uint64
 }
 
 func (c *corruptingConn) Write(p []byte) (int, error) {
 	c.mu.Lock()
-	c.count++
-	corrupt := c.count%c.k == 0
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	corrupt := c.rng%uint64(c.k) == 0
 	c.mu.Unlock()
 	if corrupt && len(p) > 4 {
 		q := append([]byte(nil), p...)
@@ -253,7 +260,7 @@ func (c *corruptingConn) Write(p []byte) (int, error) {
 
 func TestLiveRecoversFromRealCorruption(t *testing.T) {
 	a, b := net.Pipe()
-	noisy := &corruptingConn{Conn: a, k: 7} // every 7th write damaged
+	noisy := &corruptingConn{Conn: a, k: 7, rng: 0x9E3779B97F4A7C15} // ~1 in 7 writes damaged
 	var mu sync.Mutex
 	got := map[uint64]int{}
 	done := make(chan struct{})

@@ -122,6 +122,28 @@ func (n *Node) attach(neighbor *Node, link *channel.Link) {
 	ol.pair.Start()
 }
 
+// AttachSplit is attach for topologies partitioned across schedulers (the
+// shard engine): the outgoing session's sender entity runs on this node's
+// scheduler, its receiver entity — and therefore the deliver callback that
+// feeds neighbor's network layer — on the neighbor's. eng is per-adjacency
+// (crosslink round trips differ link to link, so the node-wide engine is
+// only a default). The caller is responsible for routing link's pipes
+// between the two shards (channel.Pipe.SetRemote) before the run starts.
+// The wired pair is returned for report collection.
+func (n *Node) AttachSplit(neighbor *Node, link *channel.Link, eng arq.Engine) arq.Pair {
+	ol := &outLink{}
+	ol.pair = eng.NewSplitPair(n.sched, neighbor.sched, link,
+		func(now sim.Time, dg arq.Datagram, _ uint32) {
+			neighbor.handleArrival(now, dg)
+		},
+		func(now sim.Time, reason string) {
+			ol.failed = true
+		})
+	n.links[neighbor.id] = ol
+	ol.pair.Start()
+	return ol.pair
+}
+
 // Send originates a packet to dst. It reports whether the packet was
 // accepted by the first-hop link (or delivered locally).
 func (n *Node) Send(dst ID, payload []byte) bool {

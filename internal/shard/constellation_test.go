@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	_ "repro/internal/engines"
+	"repro/internal/sim"
+)
+
+// smallConfig is a 64-satellite scenario scaled down enough for unit tests
+// and the race-enabled smoke target.
+func smallConfig() Config {
+	cfg := DefaultConfig(WalkerGrid(64))
+	cfg.Flows = 8
+	cfg.DatagramsPerFlow = 10
+	cfg.Horizon = 5 * sim.Second
+	return cfg
+}
+
+func TestConstellationSmoke(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered == 0 || r.Delivered != r.Offered {
+		t.Fatalf("delivered %d of %d offered", r.Delivered, r.Offered)
+	}
+	if r.Unroutable != 0 {
+		t.Fatalf("%d unroutable flows in a connected grid", r.Unroutable)
+	}
+	if r.DelayP50 <= 0 || r.DelayMax < r.DelayP95 || r.DelayP95 < r.DelayP50 {
+		t.Fatalf("implausible delay stats: p50=%v p95=%v max=%v", r.DelayP50, r.DelayP95, r.DelayMax)
+	}
+	if r.Events == 0 || r.Rounds == 0 {
+		t.Fatalf("empty run: events=%d rounds=%d", r.Events, r.Rounds)
+	}
+	if strings.Contains(r.Render(), "shard") {
+		t.Fatalf("Render leaks shard count:\n%s", r.Render())
+	}
+}
+
+// TestConstellationShardInvariance is the determinism pin the engine's
+// whole design serves: the full E19-style report — delivery counts, delay
+// percentiles, frame totals, executed-event count — must be byte-identical
+// whether the constellation runs on one shard or eight. Same style as the
+// worker-count pins in internal/bench.
+func TestConstellationShardInvariance(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = 1
+	one, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 8
+	eight, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Render() != eight.Render() {
+		t.Fatalf("report differs between 1 and 8 shards:\n--- shards=1\n%s--- shards=8\n%s",
+			one.Render(), eight.Render())
+	}
+	if one.Events != eight.Events {
+		t.Fatalf("executed events differ: %d vs %d", one.Events, eight.Events)
+	}
+}
+
+// TestConstellationEveryProto runs the small scenario over each registered
+// split-capable engine: the sharded path must uphold the same exactly-once
+// delivery contract for the HDLC baselines as for LAMS-DLC.
+func TestConstellationEveryProto(t *testing.T) {
+	for _, proto := range []string{"lams", "srhdlc", "gbn"} {
+		cfg := smallConfig()
+		cfg.Proto = proto
+		cfg.Shards = 4
+		cfg.Flows = 4
+		cfg.DatagramsPerFlow = 5
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if r.Delivered != r.Offered || r.Offered == 0 {
+			t.Fatalf("%s: delivered %d of %d", proto, r.Delivered, r.Offered)
+		}
+	}
+}
+
+// TestWalkerGridValidate pins the preset shapes used by E19.
+func TestWalkerGridValidate(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		w := WalkerGrid(n)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("WalkerGrid(%d): %v", n, err)
+		}
+		if w.Total() != n {
+			t.Fatalf("WalkerGrid(%d).Total() = %d", n, w.Total())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WalkerGrid(65) should panic")
+		}
+	}()
+	WalkerGrid(65)
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// runMailboxScenario drives one fixed traffic pattern — two pipes crossing
+// between two entities, sends scheduled from both sides — through the
+// engine at the given shard count and returns a trace of every delivery.
+// src entity lives on shard 0, dst on shard min(k-1, 1).
+func runMailboxScenario(t *testing.T, k int) []string {
+	t.Helper()
+	const window = 2 * sim.Millisecond
+	eng := New(k, window)
+	s0 := eng.Shard(0)
+	s1 := eng.Shard(k - 1)
+
+	cfg := channel.PipeConfig{RateBps: 1e6, Delay: channel.ConstantDelay(window)}
+	fwd := channel.NewPipe(s0.Scheduler(), cfg, sim.NewRNG(7))
+	rev := channel.NewPipe(s1.Scheduler(), cfg, sim.NewRNG(8))
+	eng.Wire(s0, s1, fwd, 0)
+	eng.Wire(s1, s0, rev, 1)
+
+	// Each handler runs on its own shard, so each gets its own trace
+	// slice; the two are concatenated only after the run.
+	var fwdTrace, revTrace []string
+	fwd.SetHandler(func(now sim.Time, f *frame.Frame) {
+		fwdTrace = append(fwdTrace, fmt.Sprintf("fwd seq=%d at=%v", f.Seq, now))
+		// bounce a reply so traffic crosses shards both ways
+		if f.Seq < 8 {
+			g := frame.NewI(f.Seq+100, 0, nil)
+			rev.Send(g)
+			frame.Put(g)
+		}
+		frame.Put(f)
+	})
+	rev.SetHandler(func(now sim.Time, f *frame.Frame) {
+		revTrace = append(revTrace, fmt.Sprintf("rev seq=%d at=%v", f.Seq, now))
+		frame.Put(f)
+	})
+
+	for i := 0; i < 10; i++ {
+		seq := uint32(i)
+		s0.Scheduler().ScheduleDetached(sim.Time(0).Add(sim.Duration(i)*sim.Millisecond), func() {
+			g := frame.NewI(seq, 0, nil)
+			fwd.Send(g)
+			frame.Put(g)
+		})
+	}
+	eng.Run(100*sim.Millisecond, nil)
+	eng.DropInflight()
+	return append(fwdTrace, revTrace...)
+}
+
+// TestEngineMailboxDeterminism pins the mailbox machinery: the same
+// scenario yields the identical delivery trace at one and two shards, and
+// deliveries happen at the stamped arrival times (send + wire + window).
+func TestEngineMailboxDeterminism(t *testing.T) {
+	one := runMailboxScenario(t, 1)
+	two := runMailboxScenario(t, 2)
+	if len(one) == 0 {
+		t.Fatal("no deliveries")
+	}
+	if fmt.Sprint(one) != fmt.Sprint(two) {
+		t.Fatalf("trace differs between 1 and 2 shards:\n1: %v\n2: %v", one, two)
+	}
+}
+
+// TestEngineLookaheadViolation pins the window contract: wiring a pipe
+// whose delay undercuts the engine window must panic at send time.
+func TestEngineLookaheadViolation(t *testing.T) {
+	eng := New(2, 5*sim.Millisecond)
+	s0, s1 := eng.Shard(0), eng.Shard(1)
+	p := channel.NewPipe(s0.Scheduler(), channel.PipeConfig{
+		Delay: channel.ConstantDelay(1 * sim.Millisecond), // < window
+	}, sim.NewRNG(1))
+	p.SetHandler(func(sim.Time, *frame.Frame) {})
+	eng.Wire(s0, s1, p, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send below the lookahead window did not panic")
+		}
+	}()
+	g := frame.NewI(1, 0, nil)
+	defer frame.Put(g)
+	p.Send(g)
+}
+
+// TestEngineRoundCount pins the round arithmetic: horizon exactly divisible
+// by the window, horizon smaller than the window, and early stop.
+func TestEngineRoundCount(t *testing.T) {
+	// Round k ends at k·W−1 (the boundary instant belongs to the next
+	// round), so a horizon of exactly 10 windows takes 11 rounds: ten full
+	// windows plus the horizon instant itself.
+	eng := New(1, 10*sim.Millisecond)
+	if got := eng.Run(100*sim.Millisecond, nil); got != 11 {
+		t.Fatalf("100ms/10ms = %d rounds, want 11", got)
+	}
+	eng = New(1, 10*sim.Millisecond)
+	if got := eng.Run(3*sim.Millisecond, nil); got != 1 {
+		t.Fatalf("3ms horizon under a 10ms window = %d rounds, want 1", got)
+	}
+	eng = New(1, 10*sim.Millisecond)
+	calls := 0
+	got := eng.Run(100*sim.Millisecond, func() bool { calls++; return calls >= 3 })
+	if got != 3 {
+		t.Fatalf("early stop after 3 barriers ran %d rounds", got)
+	}
+}

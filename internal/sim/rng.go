@@ -38,6 +38,23 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// DeriveSeed maps a base seed and a point index to a statistically
+// independent stream seed using the SplitMix64 finalizer — the same
+// construction NewRNG uses to expand one seed into xoshiro state. Deriving
+// from (base, i) rather than handing out seeds from a shared counter keeps
+// seed assignment independent of scheduling order, which is what lets a
+// sharded or worker-parallel run reproduce the serial one bit for bit.
+func DeriveSeed(base uint64, i int) uint64 {
+	z := base + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15 // xoshiro must not be seeded all-zero
+	}
+	return z
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -12,7 +12,9 @@ import (
 // own freelist covers the steady state within one run; the pool covers the
 // cold start, so a sweep constructing many hermetic schedulers (bench.RunMany)
 // allocates the event working set once per worker instead of once per run.
-// Events enter the pool only through Recycle, fully zeroed.
+// Events enter the pool only through Recycle, zeroed except the generation
+// counter — that must survive reuse (even under a different scheduler) so a
+// stale Handle from a previous life can never match a recycled slot.
 var eventPool = sync.Pool{New: func() any { return new(Event) }}
 
 // The executive is a hierarchical timer wheel over absolute nanosecond
@@ -48,8 +50,9 @@ const (
 	wheelSpanBits = wheelL0Bits + wheelUpper*wheelLvlBits
 )
 
-// Event is a handle to a scheduled callback. It can be cancelled until it
-// fires; cancelling an already-fired or already-cancelled event is a no-op.
+// Event is the scheduler's internal record of a scheduled callback. Public
+// callers hold a Handle instead; the *Event form is confined to this package
+// (Timer/Ticker, the freelists) so the object can be recycled aggressively.
 type Event struct {
 	at Time
 	fn func()
@@ -72,6 +75,13 @@ type Event struct {
 	// overflow marks an event currently parked on the overflow ladder,
 	// so Cancel can keep the ladder's dead-event count accurate.
 	overflow bool
+	// gen is the slot's generation, bumped every time the event object is
+	// retired to a freelist. A Handle captures the generation at schedule
+	// time; a mismatch later means the slot was recycled for an unrelated
+	// event, so the Handle's own event must have fired. The counter
+	// survives Recycle and the process-wide pool, so it never repeats a
+	// value an outstanding Handle could still hold.
+	gen uint64
 }
 
 // At returns the instant the event is (or was) scheduled to fire.
@@ -82,6 +92,54 @@ func (e *Event) Cancelled() bool { return e.cancel }
 
 // Fired reports whether the event's callback has run.
 func (e *Event) Fired() bool { return e.fired }
+
+// Handle is a cancellable reference to a scheduled event, returned by
+// Schedule and ScheduleAfter. It is a plain value — copying it is free and
+// returning one does not allocate, which is what lets the handle path share
+// the freelist with the detached path (the generation check makes reuse safe
+// even while handles are still outstanding). The zero Handle is inert: every
+// method is a no-op returning the zero answer.
+type Handle struct {
+	e   *Event
+	gen uint64
+	at  Time
+}
+
+// valid reports whether the handle still refers to its own event (the slot
+// has not been recycled for a newer one).
+func (h Handle) valid() bool { return h.e != nil && h.e.gen == h.gen }
+
+// At returns the instant the event is (or was) scheduled to fire, or Never
+// for the zero Handle.
+func (h Handle) At() Time {
+	if h.e == nil {
+		return Never
+	}
+	return h.at
+}
+
+// Cancel removes the event from the schedule if it has not fired. Cancelling
+// an already-fired or already-cancelled event — or through the zero Handle —
+// is a no-op, even if the underlying slot has since been recycled.
+func (h Handle) Cancel() {
+	if h.valid() {
+		h.e.owner.Cancel(h.e)
+	}
+}
+
+// Fired reports whether the event's callback has run.
+func (h Handle) Fired() bool {
+	// Only firing retires a handled (non-detached) event to the freelist,
+	// so a generation mismatch is itself proof the event fired.
+	return h.e != nil && (h.e.gen != h.gen || h.e.fired)
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (h Handle) Cancelled() bool { return h.valid() && h.e.cancel }
+
+// Active reports whether the event is still pending: scheduled, not yet
+// fired, not cancelled.
+func (h Handle) Active() bool { return h.valid() && !h.e.cancel && !h.e.fired }
 
 // bucket is an append-ordered intrusive event list. Append order is
 // insertion order, which is what makes same-instant FIFO structural.
@@ -134,10 +192,10 @@ type Scheduler struct {
 	overLive int
 	overDead int
 
-	// free is the recycle list for detached events (intrusive via next).
-	// Only events whose handle never escaped — or whose holder drops the
-	// handle synchronously (Timer/Ticker) — are returned here, so reuse
-	// can never alias a handle a caller still holds.
+	// free is the event recycle list (intrusive via next). Detached events
+	// return here when reaped; handle-returning events return here once
+	// fired, their generation bumped so an outstanding Handle can never
+	// alias the reused slot (see retire).
 	free *Event
 
 	// Observability instruments (nil when uninstrumented; all nil-safe).
@@ -210,8 +268,9 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // that is always a protocol-logic bug and silently reordering events would
 // destroy causality. Scheduling exactly at Now is allowed and fires before
 // time advances further.
-func (s *Scheduler) Schedule(at Time, fn func()) *Event {
-	return s.schedule(at, fn, nil, nil, false)
+func (s *Scheduler) Schedule(at Time, fn func()) Handle {
+	e := s.schedule(at, fn, nil, nil, false)
+	return Handle{e: e, gen: e.gen, at: at}
 }
 
 // ScheduleDetached queues fn like Schedule but returns no handle: the event
@@ -234,7 +293,7 @@ func (s *Scheduler) ScheduleArgDetached(at Time, fn func(any), arg any) {
 
 // ScheduleAfter queues fn to run d after the current instant. Negative
 // delays clamp to zero.
-func (s *Scheduler) ScheduleAfter(d Duration, fn func()) *Event {
+func (s *Scheduler) ScheduleAfter(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -267,9 +326,10 @@ func (s *Scheduler) schedule(at Time, fn func(), fnArg func(any), arg any, detac
 	} else {
 		// The process-wide pool supplies events recycled from finished
 		// schedulers (see Recycle), so a sweep of hermetic runs pays the
-		// event working set once, not per run.
+		// event working set once, not per run. The generation carries over:
+		// it is the one field that must outlive every previous owner.
 		e = eventPool.Get().(*Event)
-		*e = Event{owner: s}
+		*e = Event{owner: s, gen: e.gen}
 	}
 	e.at, e.fn, e.detached = at, fn, detached
 	e.fnArg, e.arg = fnArg, arg
@@ -335,11 +395,16 @@ func (s *Scheduler) clearL0(sl int) {
 
 // retire takes an event that left the wheel: the callback reference is
 // dropped so completed closures (and everything they capture) become
-// garbage-collectable during long sweeps, and detached events return to the
-// recycle list.
+// garbage-collectable during long sweeps, and recyclable events return to
+// the freelist. Detached events are always recyclable; handled events are
+// recyclable once FIRED — the generation bump invalidates every outstanding
+// Handle, so reuse cannot alias one. Cancelled handled events are the one
+// class left to the garbage collector: their generation must keep matching
+// so the Handle keeps answering Cancelled()=true, Fired()=false.
 func (s *Scheduler) retire(e *Event) {
 	e.fn, e.fnArg, e.arg = nil, nil, nil
-	if e.detached {
+	if e.detached || e.fired {
+		e.gen++
 		e.next = s.free
 		s.free = e
 	} else {
@@ -669,7 +734,10 @@ func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 func (s *Scheduler) Recycle() {
 	for e := s.free; e != nil; {
 		next := e.next
-		*e = Event{}
+		// Zero everything except the generation: a stale Handle from this
+		// scheduler's lifetime must still mismatch after the event serves a
+		// future scheduler.
+		*e = Event{gen: e.gen}
 		eventPool.Put(e)
 		e = next
 	}

@@ -72,7 +72,7 @@ func TestSchedulerMatchesReferenceHeap(t *testing.T) {
 
 		// live maps primary ids to their wheel handles and ref nodes so
 		// cancel/reschedule hit the same victim on both sides.
-		handles := map[int]*Event{}
+		handles := map[int]Handle{}
 		nodes := map[int]*refEvent{}
 		liveIDs := []int{}
 		nextID := 1
@@ -108,7 +108,7 @@ func TestSchedulerMatchesReferenceHeap(t *testing.T) {
 			id := liveIDs[i]
 			liveIDs[i] = liveIDs[len(liveIDs)-1]
 			liveIDs = liveIDs[:len(liveIDs)-1]
-			s.Cancel(handles[id])
+			handles[id].Cancel()
 			nodes[id].dead = true
 			delete(handles, id)
 			delete(nodes, id)

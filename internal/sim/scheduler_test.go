@@ -84,7 +84,7 @@ func TestCancel(t *testing.T) {
 	s := NewScheduler()
 	ran := false
 	e := s.Schedule(10, func() { ran = true })
-	s.Cancel(e)
+	e.Cancel()
 	s.Run()
 	if ran {
 		t.Fatal("cancelled event ran")
@@ -92,16 +92,20 @@ func TestCancel(t *testing.T) {
 	if !e.Cancelled() {
 		t.Fatal("event not marked cancelled")
 	}
-	// Double-cancel and cancel-nil are no-ops.
-	s.Cancel(e)
+	if e.Fired() {
+		t.Fatal("cancelled event reports fired")
+	}
+	// Double-cancel and the zero Handle are no-ops.
+	e.Cancel()
+	Handle{}.Cancel()
 	s.Cancel(nil)
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	s := NewScheduler()
 	ran := false
-	var victim *Event
-	s.Schedule(5, func() { s.Cancel(victim) })
+	var victim Handle
+	s.Schedule(5, func() { victim.Cancel() })
 	victim = s.Schedule(10, func() { ran = true })
 	s.Run()
 	if ran {
@@ -175,7 +179,7 @@ func TestNextEventAt(t *testing.T) {
 	if got := s.NextEventAt(); got != 42 {
 		t.Fatalf("NextEventAt = %v, want 42", got)
 	}
-	s.Cancel(e)
+	e.Cancel()
 	if got := s.NextEventAt(); got != Never {
 		t.Fatalf("after cancel NextEventAt = %v, want Never", got)
 	}
@@ -218,7 +222,7 @@ func TestSchedulerRandomCancellation(t *testing.T) {
 	rnd := rand.New(rand.NewSource(7))
 	s := NewScheduler()
 	type tracked struct {
-		ev        *Event
+		ev        Handle
 		cancelled bool
 		ran       bool
 	}
@@ -230,7 +234,7 @@ func TestSchedulerRandomCancellation(t *testing.T) {
 		if rnd.Intn(3) == 0 {
 			victim := evs[rnd.Intn(len(evs))]
 			if !victim.ev.Fired() {
-				s.Cancel(victim.ev)
+				victim.ev.Cancel()
 				victim.cancelled = true
 			}
 		}
@@ -355,6 +359,61 @@ func TestScheduleArgDetachedRecycles(t *testing.T) {
 	}
 }
 
+// TestHandleStaleAfterRecycle pins the generation contract: once a handled
+// event fires, its slot may be reused immediately, and the stale handle must
+// (a) keep reporting Fired, (b) refuse to cancel the new occupant.
+func TestHandleStaleAfterRecycle(t *testing.T) {
+	s := NewScheduler()
+	h1 := s.Schedule(10, func() {})
+	s.Run()
+	if !h1.Fired() || h1.Cancelled() || h1.Active() {
+		t.Fatalf("after fire: Fired=%v Cancelled=%v Active=%v, want true/false/false",
+			h1.Fired(), h1.Cancelled(), h1.Active())
+	}
+	ran := false
+	h2 := s.Schedule(20, func() { ran = true })
+	h1.Cancel() // stale: must not touch the recycled slot
+	s.Run()
+	if !ran {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	if !h2.Fired() {
+		t.Fatal("new occupant's handle does not report fired")
+	}
+	if h1.At() != 10 {
+		t.Fatalf("stale handle At = %v, want 10 (captured at schedule time)", h1.At())
+	}
+	var zero Handle
+	if zero.Fired() || zero.Cancelled() || zero.Active() || zero.At() != Never {
+		t.Fatal("zero Handle is not inert")
+	}
+}
+
+// TestHandleChurnAllocFree pins the satellite of ISSUE 8: the handle path
+// recycles fired events like the detached path, so steady-state churn through
+// Schedule/ScheduleAfter is allocation-free.
+func TestHandleChurnAllocFree(t *testing.T) {
+	s := NewScheduler()
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < 1000 {
+			s.ScheduleAfter(Microsecond, tick)
+		}
+	}
+	s.ScheduleAfter(Microsecond, tick)
+	s.Run() // warm the freelist
+	allocs := testing.AllocsPerRun(10, func() {
+		fired = 0
+		s.ScheduleAfter(Microsecond, tick)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state handle events allocated %.1f/run, want 0", allocs)
+	}
+}
+
 // BenchmarkSchedulerChurn measures the schedule→fire cycle that dominates a
 // simulation run, with a live metrics registry attached — the instrumented
 // path is the production path. Detached events recycle through the
@@ -378,9 +437,9 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	}
 }
 
-// BenchmarkSchedulerChurnHandles is the contrast case: handle-returning
-// events cannot be recycled (a retained handle could Cancel a reused slot),
-// so each one costs an allocation.
+// BenchmarkSchedulerChurnHandles covers the handle-returning path. Handles
+// are generation-checked values, so fired events recycle through the same
+// freelist as the detached path: steady state is 0 allocs/op here too.
 func BenchmarkSchedulerChurnHandles(b *testing.B) {
 	s := NewScheduler()
 	var fired int
