@@ -12,9 +12,21 @@ test:
 # the test binary so a regression that only bites the benchmark paths fails
 # CI instead of the next perf investigation.
 .PHONY: ci
-ci: test cover faultmatrix lint allocsmoke constsmoke
+ci: test cover faultmatrix stabmatrix lint allocsmoke constsmoke
 	go test -race ./...
 	go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchtime 100x -benchmem
+
+# State-corruption gate (ISSUE 9): the scramble/ghost/reorder adversaries
+# against every registry engine at seeds 1–5, the workers-1-vs-8
+# byte-identical pin on the combined corrupted schedule, the hardened
+# spec-grammar coverage, and the ssarq convergence property tests. Runs
+# under the race detector: the matrix batches fan across the bench worker
+# pool while the injector shares each run's scheduler with the engine, so
+# the race run is load-bearing, not ceremony.
+.PHONY: stabmatrix
+stabmatrix:
+	go test ./internal/faults -race -count=1 -run 'TestStabMatrix|TestStabDeterminism|TestParseSpecCorruptionGrammar'
+	go test ./internal/ssarq -race -count=1 -run 'TestConvergenceFromScrambledState|TestGhostFloodHarmlessAfterConvergence'
 
 # Constellation smoke (ISSUE 8): the 64-satellite Walker scenario on the
 # sharded conservative engine, under the race detector, plus the

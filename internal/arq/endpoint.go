@@ -113,3 +113,39 @@ type RecoveryWindows struct {
 type WindowsProvider interface {
 	RecoveryWindows() RecoveryWindows
 }
+
+// StateCorruptor is the surface the corruption adversary (faults kind
+// "scramble") drives: one call overwrites a bounded, engine-chosen slice of
+// live protocol state — serial watermarks, dedup timestamps, recovery
+// timers, window bookkeeping — using draws from rng. Implementations must
+// scramble only state the external probe observation cannot see directly
+// (sequence-number incarnations stay probe-consistent), so the §3.2 checker
+// keeps measuring the engine, not the adversary; DESIGN.md §13 states the
+// ownership contract. Callbacks run synchronously on the pair's scheduler.
+type StateCorruptor interface {
+	CorruptState(rng *sim.RNG)
+}
+
+// GhostForger builds one well-formed forged frame for the corruption
+// adversary (faults kind "ghost"): a frame that passes the engine's CRC and
+// kind checks but carries fabricated sequence/serial/ack state drawn from
+// rng and from the engine's own live state (which is what makes the forgery
+// adversarial rather than noise). toReceiver selects the direction: true
+// forges data-channel traffic toward the receiver, false forges
+// acknowledgement-channel traffic toward the sender. The returned frame
+// comes from frame.Get and belongs to the caller (the injector Sends it —
+// the pipe copies — then Puts it); nil skips the tick for that direction.
+type GhostForger interface {
+	ForgeGhost(rng *sim.RNG, toReceiver bool) *frame.Frame
+}
+
+// StabilizationBound exposes an engine configuration's convergence bound:
+// the longest interval after the corruption era closes within which the
+// engine must return to legal executions (Dolev-style self-stabilization
+// for ssarq; a measured, derivation-backed bound for the legacy engines —
+// DESIGN.md §13 derives each). The invariant checker excuses violations
+// timestamped inside the corruption era plus this bound and enforces
+// everything after it.
+type StabilizationBound interface {
+	ConvergenceBound() sim.Duration
+}

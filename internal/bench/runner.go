@@ -85,6 +85,7 @@ type RunConfig struct {
 	W       int          // HDLC window
 	Alpha   sim.Duration // HDLC timeout slack
 	Stutter bool         // HDLC idle-time stutter retransmission
+	N2      int          // HDLC MaxTimeouts retry budget (0 = supervision off, the historical default)
 	Tproc   sim.Duration
 	RecvCap int // LAMS receive buffer cap (0 = unbounded)
 	SendCap int
@@ -146,6 +147,15 @@ type RunResult struct {
 	// Violations holds the invariant-checker findings when
 	// RunConfig.CheckInvariants was set (nil/empty = contract held).
 	Violations []faults.Violation
+
+	// Convergence measurements, populated only when the checker ran under a
+	// corruption schedule (CheckInvariants + corruption events). Both are
+	// order-independent scalars, so RunMany results stay bit-identical at
+	// any worker count. ExcusedBreaches counts the corruption-era casualties
+	// the convergence rule waved through; ConvergenceTime is how long after
+	// the adversary stopped the last breach landed (zero = instant).
+	ExcusedBreaches uint64
+	ConvergenceTime sim.Duration
 }
 
 func (c RunConfig) lamsConfig() lamsdlc.Config {
@@ -166,6 +176,7 @@ func (c RunConfig) hdlcConfig() hdlc.Config {
 	cfg.Timeout = 2*c.OneWay + c.Alpha
 	cfg.ProcTime = c.Tproc
 	cfg.Stutter = c.Stutter
+	cfg.MaxTimeouts = c.N2
 	cfg.Metrics = c.Metrics
 	return cfg
 }
@@ -230,6 +241,11 @@ func Run(c RunConfig) RunResult {
 	var inj *faults.Injector
 	if c.Faults != nil && len(c.Faults.Events) > 0 {
 		inj = faults.NewInjector(sched, c.Faults, c.Metrics)
+		if c.Faults.NeedsRNG() {
+			// Only corruption schedules consume randomness; splitting the
+			// stream unconditionally would shift every legacy run's draws.
+			inj.Seed(rng.Split())
+		}
 		inj.WrapPipeConfigs(&ab, &ba)
 	}
 	link := channel.NewAsymmetricLink(sched, ab, ba, rng)
@@ -240,14 +256,20 @@ func Run(c RunConfig) RunResult {
 	sc := scratchPool.Get().(*runScratch)
 	got := sc.got
 	var lastDelivery sim.Time
+	genuine := 0
 	deliver := func(now sim.Time, dg arq.Datagram, _ uint32) {
 		got[dg.ID]++
-		if got[dg.ID] == 1 {
+		// Only the workload's own datagrams (sequential IDs below N) count
+		// toward completion: a ghost-forgery schedule delivers fabricated
+		// high-bit IDs, and counting those would stop the run before the
+		// genuine tail arrives.
+		if dg.ID < uint64(c.N) && got[dg.ID] == 1 {
+			genuine++
 			lastDelivery = now
-		}
-		// Stop early once everything has arrived at least once.
-		if len(got) == c.N {
-			sched.Stop()
+			// Stop early once everything has arrived at least once.
+			if genuine == c.N {
+				sched.Stop()
+			}
 		}
 	}
 
@@ -272,6 +294,19 @@ func Run(c RunConfig) RunResult {
 		}
 		chk = faults.NewChecker(w)
 		deliver = chk.WrapDeliver(deliver)
+		if c.Faults != nil {
+			if start, end, ok := c.Faults.CorruptionWindow(); ok {
+				chk.Now = sched.Now
+				// The engine's published stabilization bound governs the
+				// convergence rule; engines without one get a generous
+				// harness fallback (a handful of round trips).
+				bound := 8 * 2 * c.OneWay
+				if sb, ok := ecfg.(arq.StabilizationBound); ok {
+					bound = sb.ConvergenceBound()
+				}
+				chk.SetCorruption(sim.Time(start), sim.Time(end), bound)
+			}
+		}
 	}
 
 	pair := reg.New(sched, link, ecfg, deliver, nil)
@@ -279,6 +314,8 @@ func Run(c RunConfig) RunResult {
 		pair.SetProbe(chk.Probe())
 		finish = func(res *RunResult) {
 			res.Violations = chk.Finish(pair.Reclaim())
+			res.ExcusedBreaches = uint64(len(chk.Excused()))
+			res.ConvergenceTime = chk.ConvergenceTime()
 		}
 	}
 	if inj != nil {
@@ -334,19 +371,18 @@ func Run(c RunConfig) RunResult {
 		FinalRate:       finalRate(),
 	}
 	for id, n := range got {
-		if n > 1 {
+		if id < uint64(c.N) && n > 1 {
 			res.Duplicates += uint64(n - 1)
 		}
-		_ = id
 	}
-	res.Lost = c.N - len(got)
+	res.Lost = c.N - genuine
 	res.Elapsed = sim.Duration(lastDelivery)
 	if lastDelivery > 0 {
-		bits := float64(len(got)) * float64(c.PayloadBytes) * 8
+		bits := float64(genuine) * float64(c.PayloadBytes) * 8
 		res.Efficiency = bits / (c.RateBps * lastDelivery.Seconds())
 	}
-	if n := len(got); n > 0 {
-		res.TransPerFrame = float64(res.FirstTx+res.Retransmissions) / float64(n)
+	if genuine > 0 {
+		res.TransPerFrame = float64(res.FirstTx+res.Retransmissions) / float64(genuine)
 	}
 	if finish != nil {
 		finish(&res)

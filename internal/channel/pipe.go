@@ -106,6 +106,16 @@ type Pipe struct {
 	busyUntil   sim.Time // when the wire frees up
 	lastArrival sim.Time // FIFO watermark
 	down        bool
+
+	// Non-FIFO window (faults kind "reorder"): while reorderJitter > 0
+	// every frame's arrival gains a counter-hashed extra delay in
+	// [0, reorderJitter) and the FIFO clamp is suspended, so frames overtake
+	// each other deterministically — no randomness is consumed, mirroring
+	// the burst gate's contract. reorderSeq feeds the hash and never resets,
+	// so repeated windows keep drawing fresh jitter.
+	reorderJitter sim.Duration
+	reorderSeq    uint64
+	reordered     *metrics.Counter
 	// rxDown is the receive side's own down flag, used instead of down by
 	// DeliverInbound when the pipe is remote (post != nil): the two ends of
 	// a remote pipe live on different shards, so each side owns its flag
@@ -274,12 +284,26 @@ func (p *Pipe) Send(f *frame.Frame) {
 	}
 
 	arrival := depart.Add(p.cfg.Delay(depart))
-	// Physical FIFO: with shrinking delay a later frame could compute an
-	// earlier arrival; clamp to preserve ordering on the serial medium.
-	if arrival <= p.lastArrival {
-		arrival = p.lastArrival + 1
+	if p.reorderJitter > 0 {
+		p.reorderSeq++
+		if extra := sim.Duration(reorderHash(p.reorderSeq) % uint64(p.reorderJitter)); extra > 0 {
+			arrival = arrival.Add(extra)
+			p.reordered.Inc()
+		}
+		// The FIFO clamp is suspended, but the watermark still advances:
+		// frames sent after the window closes must not overtake a jittered
+		// straggler, or the reordering would leak past its schedule.
+		if arrival > p.lastArrival {
+			p.lastArrival = arrival
+		}
+	} else {
+		// Physical FIFO: with shrinking delay a later frame could compute an
+		// earlier arrival; clamp to preserve ordering on the serial medium.
+		if arrival <= p.lastArrival {
+			arrival = p.lastArrival + 1
+		}
+		p.lastArrival = arrival
 	}
-	p.lastArrival = arrival
 	if p.post != nil {
 		p.post(arrival, g)
 		return
@@ -329,6 +353,24 @@ func (p *Pipe) DeliverInbound(now sim.Time, g *frame.Frame) {
 	if recycle {
 		frame.Put(g)
 	}
+}
+
+// SetReorder opens (jitter > 0) or closes (jitter = 0) a bounded non-FIFO
+// delivery window: see the reorderJitter field for the mechanics. reordered,
+// when non-nil, counts each frame actually delayed (nil-safe). Frames
+// already scheduled keep their arrivals; only subsequent sends jitter.
+func (p *Pipe) SetReorder(jitter sim.Duration, reordered *metrics.Counter) {
+	p.reorderJitter = jitter
+	p.reordered = reordered
+}
+
+// reorderHash is the splitmix64 finalizer over the pipe's send counter: a
+// deterministic, well-mixed jitter source that costs no RNG draws.
+func reorderHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // SetDown marks the pipe dead (true) or alive (false). Frames already in

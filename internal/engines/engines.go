@@ -7,4 +7,5 @@ package engines
 import (
 	_ "repro/internal/hdlc"    // registers "srhdlc" and "gbn"
 	_ "repro/internal/lamsdlc" // registers "lams"
+	_ "repro/internal/ssarq"   // registers "ssarq"
 )

@@ -52,6 +52,18 @@ func (v Violation) String() string {
 //	completion       With RequireCompletion and no declared failure, every
 //	                 accepted datagram is delivered by the end of the run —
 //	                 the rule that catches a permanently halted link.
+//	convergence      (SetCorruption) Under a state-corruption schedule the
+//	                 contract is the Dolev self-stabilization guarantee:
+//	                 bounded casualties while the adversary runs, then legal
+//	                 executions forever. Violations timestamped inside the
+//	                 corruption era plus the engine's convergence bound are
+//	                 excused (recorded separately); anything after the
+//	                 deadline is a real breach — the engine failed to
+//	                 stabilize. End-of-run rules are excused per datagram:
+//	                 a loss is excused only if the datagram was submitted
+//	                 before the deadline (a corruption-era casualty), a
+//	                 duplicate or unsolicited delivery only if its last
+//	                 delivery predates the deadline.
 type Checker struct {
 	w arq.RecoveryWindows
 
@@ -59,6 +71,14 @@ type Checker struct {
 	// set (the default from NewChecker) whenever the run's horizon
 	// comfortably covers the fault schedule plus recovery settle time.
 	RequireCompletion bool
+
+	// Now, when non-nil, supplies the virtual clock WrapSink stamps
+	// submissions with. Engines set Datagram.EnqueuedAt on their own copy
+	// inside Enqueue — the sink wrapper never sees it — so without a clock
+	// every submission reads t=0 and the convergence rule would excuse
+	// post-deadline losses as era casualties. The harness installs the
+	// scheduler's clock whenever it arms a corruption window.
+	Now func() sim.Time
 
 	probe arq.Probe
 
@@ -78,7 +98,20 @@ type Checker struct {
 	failed        bool
 	checkpointsRx int
 
+	// Corruption era (SetCorruption): [corrStart, corrEnd] is the scheduled
+	// adversary window, corrDeadline = corrEnd + the engine's convergence
+	// bound. submitAt/deliverAt give the end-of-run rules per-datagram
+	// timestamps to classify against the deadline.
+	haveCorr     bool
+	corrStart    sim.Time
+	corrEnd      sim.Time
+	corrDeadline sim.Time
+	submitAt     map[uint64]sim.Time
+	deliverAt    map[uint64]sim.Time
+	lastBreach   sim.Time
+
 	violations []Violation
+	excused    []Violation
 }
 
 type txRecord struct {
@@ -99,6 +132,8 @@ func NewChecker(w arq.RecoveryWindows) *Checker {
 		delivered:         make(map[uint64]int),
 		transmitted:       make(map[uint64]int),
 		liveTx:            make(map[uint32]txRecord),
+		submitAt:          make(map[uint64]sim.Time),
+		deliverAt:         make(map[uint64]sim.Time),
 	}
 	c.probe = arq.Probe{
 		CheckpointHeard:   c.onCheckpointHeard,
@@ -116,6 +151,38 @@ func NewChecker(w arq.RecoveryWindows) *Checker {
 // Probe returns the transition observer to install on the pair.
 func (c *Checker) Probe() *arq.Probe { return &c.probe }
 
+// SetCorruption arms the convergence rule for a state-corruption schedule
+// running over [start, end]: breaches timestamped up to end+bound are
+// excused as corruption-era casualties (Excused lists them), and everything
+// later stays a real violation — the self-stabilization contract. bound is
+// the engine's arq.StabilizationBound (or the harness fallback).
+func (c *Checker) SetCorruption(start, end sim.Time, bound sim.Duration) {
+	c.haveCorr = true
+	c.corrStart = start
+	c.corrEnd = end
+	c.corrDeadline = end.Add(bound)
+}
+
+// Excused returns the corruption-era breaches the convergence rule waved
+// through. E20 reads their spread; an empty list under an aggressive
+// schedule usually means the adversary never actually bit.
+func (c *Checker) Excused() []Violation { return c.excused }
+
+// LastBreach returns the instant of the latest timed breach, excused or
+// real (zero when none): LastBreach − corruption end is the engine's
+// measured convergence time.
+func (c *Checker) LastBreach() sim.Time { return c.lastBreach }
+
+// ConvergenceTime returns the measured stabilization time: how long after
+// the corruption era closed the last breach (excused or real) landed. Zero
+// when the engine never breached after the era closed.
+func (c *Checker) ConvergenceTime() sim.Duration {
+	if !c.haveCorr || c.lastBreach <= c.corrEnd {
+		return 0
+	}
+	return c.lastBreach.Sub(c.corrEnd)
+}
+
 // WrapSink interposes submission tracking on a workload sink. Only
 // accepted datagrams (inner returned true) enter the contract.
 func (c *Checker) WrapSink(inner workload.Sink) workload.Sink {
@@ -124,6 +191,11 @@ func (c *Checker) WrapSink(inner workload.Sink) workload.Sink {
 		if ok && !c.submitSet[dg.ID] {
 			c.submitSet[dg.ID] = true
 			c.submitted = append(c.submitted, dg.ID)
+			at := dg.EnqueuedAt
+			if c.Now != nil {
+				at = c.Now()
+			}
+			c.submitAt[dg.ID] = at
 		}
 		return ok
 	}
@@ -134,6 +206,7 @@ func (c *Checker) WrapSink(inner workload.Sink) workload.Sink {
 func (c *Checker) WrapDeliver(inner arq.DeliverFunc) arq.DeliverFunc {
 	return func(now sim.Time, dg arq.Datagram, seq uint32) {
 		c.delivered[dg.ID]++
+		c.deliverAt[dg.ID] = now
 		if inner != nil {
 			inner(now, dg, seq)
 		}
@@ -141,7 +214,34 @@ func (c *Checker) WrapDeliver(inner arq.DeliverFunc) arq.DeliverFunc {
 }
 
 func (c *Checker) violate(at sim.Time, rule, format string, args ...any) {
-	c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	v := Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...)}
+	if c.haveCorr && at > 0 {
+		if at > c.lastBreach {
+			c.lastBreach = at
+		}
+		if at >= c.corrStart && at <= c.corrDeadline {
+			// Corruption-era casualty: the self-stabilization contract
+			// tolerates it, the convergence measurement records it.
+			c.excused = append(c.excused, v)
+			return
+		}
+	}
+	c.violations = append(c.violations, v)
+}
+
+// excuseFinish routes an end-of-run breach whose per-datagram evidence
+// predates the convergence deadline into the excused list. at is the
+// datagram's classifying timestamp (submission for loss rules, last
+// delivery for duplicate rules).
+func (c *Checker) excuseFinish(at sim.Time, rule, format string, args ...any) bool {
+	if !c.haveCorr || at > c.corrDeadline {
+		return false
+	}
+	if at > c.lastBreach {
+		c.lastBreach = at
+	}
+	c.excused = append(c.excused, Violation{At: at, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	return true
 }
 
 func (c *Checker) onCheckpointHeard(now sim.Time, serial uint32, enforced bool) {
@@ -274,18 +374,26 @@ func (c *Checker) Finish(unreleased []arq.Datagram) []Violation {
 	for _, id := range c.submitted {
 		n := c.delivered[id]
 		if n == 0 && !held[id] {
-			c.violate(0, "no-loss", "datagram %d accepted but neither delivered nor held by the sender", id)
+			if !c.excuseFinish(c.submitAt[id], "no-loss", "datagram %d accepted but neither delivered nor held by the sender (corruption-era casualty)", id) {
+				c.violate(0, "no-loss", "datagram %d accepted but neither delivered nor held by the sender", id)
+			}
 		}
 		if n == 0 && !c.failed && c.RequireCompletion {
-			c.violate(0, "completion", "datagram %d undelivered at end of run with no declared failure", id)
+			if !c.excuseFinish(c.submitAt[id], "completion", "datagram %d undelivered at end of run (corruption-era casualty)", id) {
+				c.violate(0, "completion", "datagram %d undelivered at end of run with no declared failure", id)
+			}
 		}
 		if n > 1 && c.transmitted[id] < n {
-			c.violate(0, "duplicates", "datagram %d delivered %d times but transmitted only %d times", id, n, c.transmitted[id])
+			if !c.excuseFinish(c.deliverAt[id], "duplicates", "datagram %d delivered %d times, transmitted %d (corruption-era duplicate)", id, n, c.transmitted[id]) {
+				c.violate(0, "duplicates", "datagram %d delivered %d times but transmitted only %d times", id, n, c.transmitted[id])
+			}
 		}
 	}
 	for id := range c.delivered {
 		if len(c.submitSet) > 0 && !c.submitSet[id] {
-			c.violate(0, "no-loss", "datagram %d delivered but never accepted from the workload", id)
+			if !c.excuseFinish(c.deliverAt[id], "no-loss", "datagram %d delivered but never accepted (ghost-era delivery)", id) {
+				c.violate(0, "no-loss", "datagram %d delivered but never accepted from the workload", id)
+			}
 		}
 	}
 	return c.violations

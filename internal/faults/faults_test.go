@@ -72,10 +72,73 @@ func TestParseSpecRejects(t *testing.T) {
 		"burst@1s:len=1ms,gap=oops", // unparsable duration
 		"storm@1s:period",           // parameter without '='
 		"outage@banana",             // unparsable start
+		// Hardening (ISSUE 9): repeated keys and overlapping same-kind
+		// episodes are mis-edited schedules, rejected outright.
+		"storm@1s:period=2ms,period=3ms",       // duplicate parameter key
+		"ghost@1s:dir=ba,dir=ab",               // duplicate key, different values
+		"outage@1s+2s; outage@2s+500ms",        // overlapping same-kind windows
+		"half@1s+2s:dir=ab; half@2s+2s:dir=ab", // overlapping, same direction
+		"ghost@1s+1s; ghost@1500ms+1s:dir=ab",  // dir=both contends with ab
+		"scramble@1s:period=0s",                // non-positive corruption period
+		"reorder@1s:jitter=0s",                 // non-positive reorder jitter
+		"scramble@1s:jitter=1ms",               // parameter on wrong kind
+		"reorder@1s:period=1ms",                // parameter on wrong kind
 	}
 	for _, text := range bad {
 		if _, err := faults.ParseSpec(text); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", text)
+		}
+	}
+}
+
+// TestParseSpecCorruptionGrammar pins the state-corruption kinds' defaults
+// and the overlap rule's legitimate edges: half-open windows that merely
+// touch, and same-kind episodes on disjoint directions.
+func TestParseSpecCorruptionGrammar(t *testing.T) {
+	spec, err := faults.ParseSpec(
+		"scramble@100ms+400ms; ghost@100ms+400ms:period=2ms,dir=ab; reorder@100ms+400ms:jitter=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(spec.Events))
+	}
+	sc, gh, re := spec.Events[0], spec.Events[1], spec.Events[2]
+	if sc.Kind != faults.Scramble || sc.Period != 10*sim.Millisecond {
+		t.Fatalf("scramble defaults wrong: %+v", sc)
+	}
+	if gh.Kind != faults.Ghost || gh.Period != 2*sim.Millisecond || gh.Dir != faults.AtoB {
+		t.Fatalf("ghost event wrong: %+v", gh)
+	}
+	if re.Kind != faults.Reorder || re.Jitter != 2*sim.Millisecond || re.Dir != faults.Both {
+		t.Fatalf("reorder event wrong: %+v", re)
+	}
+	for _, e := range spec.Events {
+		if !e.Kind.Corruption() {
+			t.Fatalf("%s should classify as a corruption kind", e.Kind)
+		}
+	}
+	start, end, ok := spec.CorruptionWindow()
+	if !ok || start != 100*sim.Millisecond || end != 500*sim.Millisecond {
+		t.Fatalf("CorruptionWindow() = %v, %v, %v", start, end, ok)
+	}
+
+	// String round-trips through the parser.
+	again, err := faults.ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", spec.String(), err)
+	}
+	if !reflect.DeepEqual(spec, again) {
+		t.Fatalf("round trip changed the spec:\n%q\n%q", spec.String(), again.String())
+	}
+
+	// Merely-touching windows and direction-disjoint episodes are legal.
+	for _, text := range []string{
+		"ghost@1s+1s; ghost@2s+1s",                   // half-open windows touch, no overlap
+		"reorder@1s+2s:dir=ab; reorder@2s+2s:dir=ba", // same window, opposite beams
+	} {
+		if _, err := faults.ParseSpec(text); err != nil {
+			t.Errorf("ParseSpec(%q) rejected: %v", text, err)
 		}
 	}
 }

@@ -11,17 +11,22 @@ import (
 // Injector arms a Spec against one simulated link. Lifecycle:
 //
 //	inj := NewInjector(sched, spec, reg)
+//	inj.Seed(rng.Split())           // only when spec.NeedsRNG(): scramble/ghost
 //	inj.WrapPipeConfigs(&ab, &ba)   // before the link is built: burst gates
 //	link := channel.NewAsymmetricLink(sched, ab, ba, rng)
-//	inj.AttachLink(link)            // outages, handovers, storms
-//	inj.AttachEndpoint(pair, wcp)   // skew windows (checkpointing engines)
+//	inj.AttachLink(link)            // outages, handovers, storms, reorder
+//	inj.AttachEndpoint(pair, wcp)   // skew, scramble, ghost (capability-gated)
 //
-// Everything is schedule-driven: the injector draws no randomness, so a
-// faulted run is exactly as reproducible as a clean one — same spec, same
-// seed, same event sequence at any worker count.
+// Legacy kinds are purely schedule-driven — no randomness, so a faulted run
+// is exactly as reproducible as a clean one. The corruption adversaries
+// (scramble, ghost) draw from the stream Seed installs; since that stream is
+// split off the run's root RNG exactly once, deterministically, corrupted
+// runs are just as reproducible — same spec, same seed, same event sequence
+// at any worker count.
 type Injector struct {
 	sched *sim.Scheduler
 	spec  *Spec
+	rng   *sim.RNG // corruption adversaries only; nil for legacy schedules
 
 	link       *channel.Link
 	downAB     int // overlap-safe down-counters per direction
@@ -34,11 +39,19 @@ type Injector struct {
 	mBurstHits   *metrics.Counter // lams_fault_burst_corrupted_total
 	mTransitions *metrics.Counter // lams_fault_link_transitions_total
 	mSkews       *metrics.Counter // lams_fault_skew_windows_total
+	mScrambles   *metrics.Counter // lams_fault_corrupt_scrambles_total
+	mGhosts      *metrics.Counter // lams_fault_corrupt_ghosts_total
+	mReordered   *metrics.Counter // lams_fault_corrupt_reordered_total
 }
 
 // NewInjector builds an injector for the spec. reg may be nil (the
-// lams_fault_* instruments are nil-safe like every registry consumer).
+// lams_fault_* instruments are nil-safe like every registry consumer). The
+// spec must satisfy Validate — ParseSpec output always does; a hand-built
+// schedule that doesn't is a programming error and panics here.
 func NewInjector(sched *sim.Scheduler, spec *Spec, reg *metrics.Registry) *Injector {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
 	return &Injector{
 		sched:        sched,
 		spec:         spec,
@@ -47,8 +60,16 @@ func NewInjector(sched *sim.Scheduler, spec *Spec, reg *metrics.Registry) *Injec
 		mBurstHits:   reg.Counter("lams_fault_burst_corrupted_total"),
 		mTransitions: reg.Counter("lams_fault_link_transitions_total"),
 		mSkews:       reg.Counter("lams_fault_skew_windows_total"),
+		mScrambles:   reg.Counter("lams_fault_corrupt_scrambles_total"),
+		mGhosts:      reg.Counter("lams_fault_corrupt_ghosts_total"),
+		mReordered:   reg.Counter("lams_fault_corrupt_reordered_total"),
 	}
 }
+
+// Seed installs the RNG stream the scramble and ghost adversaries draw
+// from. Call it (with a stream split off the run's root RNG) if and only if
+// spec.NeedsRNG(); legacy schedules skip it and stay draw-free.
+func (inj *Injector) Seed(rng *sim.RNG) { inj.rng = rng }
 
 // WrapPipeConfigs overlays the spec's burst episodes on the two directions'
 // error processes. Call before building the link: the gates wrap IModel and
@@ -144,35 +165,113 @@ func (inj *Injector) AttachLink(l *channel.Link) {
 			inj.at(ev.End(), func() { inj.setDown(ev.Dir, -1) })
 		case Storm:
 			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.stormTick(ev, sim.Time(ev.End())) })
+		case Reorder:
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.setReorder(ev.Dir, ev.Jitter) })
+			inj.at(ev.End(), func() { inj.setReorder(ev.Dir, 0) })
 		}
 	}
 }
 
-// AttachEndpoint schedules the spec's clock-skew windows against an endpoint
-// pair: the checkpoint period is scaled by the window's factor at open and
-// restored to basePeriod (W_cp) at close. Engines with no checkpoint process
-// (no arq.CheckpointRetimer — the HDLC baselines) skip the skew events; all
-// other fault kinds apply to any engine. Skew windows should not overlap;
-// with overlap, the last transition wins.
+func (inj *Injector) setReorder(dir Dir, jitter sim.Duration) {
+	counter := inj.mReordered
+	if jitter == 0 {
+		counter = nil
+	}
+	if dir == AtoB || dir == Both {
+		inj.link.AtoB.SetReorder(jitter, counter)
+	}
+	if dir == BtoA || dir == Both {
+		inj.link.BtoA.SetReorder(jitter, counter)
+	}
+}
+
+// AttachEndpoint schedules the spec's endpoint-directed episodes against a
+// pair, each gated on the capability it needs: clock-skew windows scale the
+// checkpoint period through arq.CheckpointRetimer (restored to basePeriod,
+// W_cp, at close), scramble episodes drive arq.StateCorruptor, and ghost
+// episodes forge frames through arq.GhostForger. An engine lacking a
+// capability skips those episodes — the HDLC baselines skip skew, an engine
+// without corruption support skips scramble/ghost — and all other fault
+// kinds apply to any engine. Overlapping same-kind windows are rejected by
+// Spec.Validate, so open/close transitions never contend.
 func (inj *Injector) AttachEndpoint(p arq.Pair, basePeriod sim.Duration) {
-	rt, ok := p.(arq.CheckpointRetimer)
-	if !ok {
+	if inj.rng == nil && inj.spec.NeedsRNG() {
+		panic("faults: schedule has scramble/ghost events but Seed was never called")
+	}
+	if rt, ok := p.(arq.CheckpointRetimer); ok {
+		inj.retimer = rt
+		inj.basePeriod = basePeriod
+		for _, ev := range inj.spec.Events {
+			ev := ev
+			if ev.Kind != Skew {
+				continue
+			}
+			skewed := sim.Duration(float64(basePeriod) * ev.Factor)
+			if skewed <= 0 {
+				skewed = 1
+			}
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.mSkews.Inc(); rt.SetCheckpointPeriod(skewed) })
+			inj.at(ev.End(), func() { rt.SetCheckpointPeriod(basePeriod) })
+		}
+	}
+	if sc, ok := p.(arq.StateCorruptor); ok {
+		for _, ev := range inj.spec.Events {
+			ev := ev
+			if ev.Kind != Scramble {
+				continue
+			}
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.scrambleTick(sc, ev, sim.Time(ev.End())) })
+		}
+	}
+	if gf, ok := p.(arq.GhostForger); ok {
+		for _, ev := range inj.spec.Events {
+			ev := ev
+			if ev.Kind != Ghost {
+				continue
+			}
+			inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.ghostTick(gf, ev, sim.Time(ev.End())) })
+		}
+	}
+}
+
+// scrambleTick fires one state-corruption strike and re-arms until the
+// episode closes. The strike runs synchronously on the pair's scheduler, so
+// the engine sees its state change exactly as a cosmic-ray upset would look
+// between two of its own events.
+func (inj *Injector) scrambleTick(sc arq.StateCorruptor, ev Event, until sim.Time) {
+	if inj.sched.Now() >= until {
 		return
 	}
-	inj.retimer = rt
-	inj.basePeriod = basePeriod
-	for _, ev := range inj.spec.Events {
-		ev := ev
-		if ev.Kind != Skew {
-			continue
-		}
-		skewed := sim.Duration(float64(basePeriod) * ev.Factor)
-		if skewed <= 0 {
-			skewed = 1
-		}
-		inj.at(ev.Start, func() { inj.mEvents.Inc(); inj.mSkews.Inc(); rt.SetCheckpointPeriod(skewed) })
-		inj.at(ev.End(), func() { rt.SetCheckpointPeriod(basePeriod) })
+	sc.CorruptState(inj.rng)
+	inj.mScrambles.Inc()
+	inj.sched.ScheduleAfterDetached(ev.Period, func() { inj.scrambleTick(sc, ev, until) })
+}
+
+// ghostTick injects one forged frame per armed direction and re-arms until
+// the episode closes. Ghosts go through Pipe.Send like storm frames — they
+// occupy real wire time and suffer the direction's error process — and the
+// pipe copies, so the forger's frame is recycled immediately.
+func (inj *Injector) ghostTick(gf arq.GhostForger, ev Event, until sim.Time) {
+	if inj.sched.Now() >= until {
+		return
 	}
+	if ev.Dir == AtoB || ev.Dir == Both {
+		if g := gf.ForgeGhost(inj.rng, true); g != nil {
+			inj.link.AtoB.Send(g)
+			frame.Put(g)
+			inj.mGhosts.Inc()
+			inj.mInjected.Inc()
+		}
+	}
+	if ev.Dir == BtoA || ev.Dir == Both {
+		if g := gf.ForgeGhost(inj.rng, false); g != nil {
+			inj.link.BtoA.Send(g)
+			frame.Put(g)
+			inj.mGhosts.Inc()
+			inj.mInjected.Inc()
+		}
+	}
+	inj.sched.ScheduleAfterDetached(ev.Period, func() { inj.ghostTick(gf, ev, until) })
 }
 
 func (inj *Injector) at(d sim.Duration, fn func()) {

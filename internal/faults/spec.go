@@ -1,9 +1,13 @@
 // Package faults is the deterministic fault-injection harness for the
 // recovery machinery: it scripts link outages (full and half-duplex, so
 // checkpoints can die while I-frames survive), NAK/checkpoint storms,
-// burst-loss episodes, clock-skew windows, and handover cut-overs against a
-// channel.Link, entirely from a seed-free schedule — same spec, same run,
-// byte for byte, at any worker count.
+// burst-loss episodes, clock-skew windows, handover cut-overs, and — since
+// the self-stabilization work — state-corruption attacks (scramble of live
+// engine state, ghost-frame forgery, bounded non-FIFO reordering) against a
+// channel.Link. Legacy kinds are seed-free schedules — same spec, same run,
+// byte for byte, at any worker count; the scramble/ghost adversaries draw
+// from a dedicated RNG stream the harness splits only when a schedule needs
+// one, so legacy runs keep their exact historical draw sequences.
 //
 // A Spec is a semicolon-separated list of events:
 //
@@ -55,6 +59,22 @@ const (
 	// duration (default 30ms) — a short, sharp outage with its own kind so
 	// schedules read like the scenario they script.
 	Handover
+	// Scramble is the state-corruption adversary (Dolev et al.,
+	// arXiv 2006.05901): every period it overwrites a bounded slice of the
+	// engine's live protocol state through arq.StateCorruptor (param
+	// period, default 10ms). Engines without the capability skip it.
+	Scramble
+	// Ghost injects well-formed forged frames — CRC-valid bodies with
+	// fabricated sequence/serial/ack state — through arq.GhostForger
+	// (params dir=ab|ba|both default both, period default 1ms). Forged
+	// frames consume real wire time like storm frames.
+	Ghost
+	// Reorder opens a bounded non-FIFO delivery window on a direction:
+	// each frame's arrival gains a deterministic counter-hashed extra
+	// delay in [0, jitter) and the pipe's FIFO clamp is suspended (params
+	// dir=ab|ba|both default both, jitter default 1ms). Consumes no
+	// randomness, like the burst gate.
+	Reorder
 )
 
 var kindNames = map[Kind]string{
@@ -64,6 +84,9 @@ var kindNames = map[Kind]string{
 	Burst:      "burst",
 	Skew:       "skew",
 	Handover:   "handover",
+	Scramble:   "scramble",
+	Ghost:      "ghost",
+	Reorder:    "reorder",
 }
 
 var kindsByName = map[string]Kind{
@@ -73,6 +96,16 @@ var kindsByName = map[string]Kind{
 	"burst":    Burst,
 	"skew":     Skew,
 	"handover": Handover,
+	"scramble": Scramble,
+	"ghost":    Ghost,
+	"reorder":  Reorder,
+}
+
+// Corruption reports whether the kind belongs to the state-corruption
+// family (scramble, ghost, reorder) the §3.2 checker's convergence rule
+// keys off.
+func (k Kind) Corruption() bool {
+	return k == Scramble || k == Ghost || k == Reorder
 }
 
 // String names the kind as the grammar spells it.
@@ -136,6 +169,10 @@ type Event struct {
 
 	// Skew parameter: checkpoint-period multiplier.
 	Factor float64
+
+	// Reorder parameter: upper bound (exclusive) on the extra per-frame
+	// arrival delay inside the non-FIFO window.
+	Jitter sim.Duration
 }
 
 // End returns the instant the episode closes.
@@ -148,7 +185,7 @@ func (e Event) String() string {
 	var params []string
 	add := func(k, v string) { params = append(params, k+"="+v) }
 	switch e.Kind {
-	case HalfDuplex, Storm, Burst:
+	case HalfDuplex, Storm, Burst, Ghost, Reorder:
 		if e.Dir != Both || e.Kind == HalfDuplex {
 			add("dir", e.Dir.String())
 		}
@@ -168,6 +205,10 @@ func (e Event) String() string {
 		add("gap", fmtSpecDur(e.BurstGap))
 	case Skew:
 		add("factor", strconv.FormatFloat(e.Factor, 'g', -1, 64))
+	case Scramble, Ghost:
+		add("period", fmtSpecDur(e.Period))
+	case Reorder:
+		add("jitter", fmtSpecDur(e.Jitter))
 	}
 	if len(params) > 0 {
 		b.WriteString(":" + strings.Join(params, ","))
@@ -200,16 +241,98 @@ func (s *Spec) End() sim.Duration {
 	return end
 }
 
+// CorruptionWindow returns the span covering every state-corruption event
+// (scramble, ghost, reorder). ok is false when the schedule has none — the
+// checker's convergence rule then stays dormant.
+func (s *Spec) CorruptionWindow() (start, end sim.Duration, ok bool) {
+	for _, e := range s.Events {
+		if !e.Kind.Corruption() {
+			continue
+		}
+		if !ok || e.Start < start {
+			start = e.Start
+		}
+		if e.End() > end {
+			end = e.End()
+		}
+		ok = true
+	}
+	return start, end, ok
+}
+
+// NeedsRNG reports whether arming the schedule consumes randomness: the
+// scramble and ghost adversaries draw, while every legacy kind — and
+// reorder, whose jitter is counter-hashed — is purely schedule-driven.
+// The harness splits the injector an RNG stream only when this is true, so
+// legacy schedules keep their exact historical draw sequences.
+func (s *Spec) NeedsRNG() bool {
+	for _, e := range s.Events {
+		if e.Kind == Scramble || e.Kind == Ghost {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate reports the first structural error in the schedule. ParseSpec
+// runs it on everything it parses; NewInjector runs it again so
+// programmatically built Specs meet the same bar. Two classes of error:
+// every kind here scripts a window, so a non-positive duration is always a
+// mistake (parseEvent rejects an explicit "+0s", but a hand-built Event can
+// carry one); and two same-kind episodes whose windows and directions
+// intersect are rejected outright — the half-duplex ref count and the skew
+// restore are the subtle casualties, and no schedule legitimately needs the
+// same fault twice at once.
+func (s *Spec) Validate() error {
+	for _, e := range s.Events {
+		if e.Start < 0 {
+			return fmt.Errorf("faults: event %s: negative start", e)
+		}
+		if e.Dur <= 0 {
+			return fmt.Errorf("faults: event %s: non-positive duration", e)
+		}
+	}
+	for i, a := range s.Events {
+		for _, b := range s.Events[i+1:] {
+			if a.Kind != b.Kind {
+				continue
+			}
+			if a.End() <= b.Start || b.End() <= a.Start {
+				continue // half-open windows merely touching are fine
+			}
+			if !dirsIntersect(a, b) {
+				continue
+			}
+			return fmt.Errorf("faults: overlapping %s events (%s and %s)", a.Kind, a, b)
+		}
+	}
+	return nil
+}
+
+// dirsIntersect reports whether two events of one kind contend for the same
+// link direction. Kinds without a direction selector always contend.
+func dirsIntersect(a, b Event) bool {
+	switch a.Kind {
+	case HalfDuplex, Storm, Burst, Ghost, Reorder:
+		return a.Dir == Both || b.Dir == Both || a.Dir == b.Dir
+	}
+	return true
+}
+
 // ParseSpec parses the fault-schedule grammar:
 //
 //	spec    = event *( ";" event )
 //	event   = kind "@" dur [ "+" dur ] [ ":" param *( "," param ) ]
 //	param   = key "=" value
-//	kind    = "outage" | "half" | "storm" | "burst" | "skew" | "handover"
+//	kind    = "outage" | "half" | "storm" | "burst" | "skew" | "handover" |
+//	          "scramble" | "ghost" | "reorder"
 //
 // Durations use Go syntax ("500ms", "2s"). Defaults: half dir=ba; storm
 // dir=ba period=1ms naks=0 serial=0; burst dir=both len=1ms gap=9ms; skew
-// factor=1.5 dur=1s; handover dur=30ms; other durations 100ms.
+// factor=1.5 dur=1s; handover dur=30ms; scramble period=10ms; ghost
+// dir=both period=1ms; reorder dir=both jitter=1ms; other durations 100ms.
+// Repeated parameter keys and overlapping same-kind episodes are hard
+// errors (Spec.Validate).
 func ParseSpec(text string) (*Spec, error) {
 	spec := &Spec{}
 	for _, part := range strings.Split(text, ";") {
@@ -226,6 +349,9 @@ func ParseSpec(text string) (*Spec, error) {
 	sort.SliceStable(spec.Events, func(i, j int) bool {
 		return spec.Events[i].Start < spec.Events[j].Start
 	})
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	return spec, nil
 }
 
@@ -256,18 +382,22 @@ func parseEvent(text string) (Event, error) {
 	switch kind {
 	case HalfDuplex, Storm:
 		ev.Dir = BtoA
-	case Burst:
+	case Burst, Ghost, Reorder:
 		ev.Dir = Both
 	}
 	ev.Period = sim.Millisecond
 	ev.BurstLen = sim.Millisecond
 	ev.BurstGap = 9 * sim.Millisecond
 	ev.Factor = 1.5
+	ev.Jitter = sim.Millisecond
 	if kind == Skew {
 		ev.Dur = sim.Second
 	}
 	if kind == Handover {
 		ev.Dur = 30 * sim.Millisecond
+	}
+	if kind == Scramble {
+		ev.Period = 10 * sim.Millisecond
 	}
 
 	if hasDur {
@@ -283,6 +413,7 @@ func parseEvent(text string) (Event, error) {
 	if !hasParams {
 		return ev, nil
 	}
+	seen := make(map[string]bool)
 	for _, p := range strings.Split(params, ",") {
 		p = strings.TrimSpace(p)
 		if p == "" {
@@ -292,7 +423,14 @@ func parseEvent(text string) (Event, error) {
 		if !ok {
 			return ev, fmt.Errorf("faults: event %q: parameter %q lacks '='", text, p)
 		}
-		if err := ev.setParam(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+		key = strings.TrimSpace(key)
+		// A repeated key is a hard error, not last-wins: a schedule that
+		// says period twice is a schedule the author mis-edited.
+		if seen[key] {
+			return ev, fmt.Errorf("faults: event %q: duplicate parameter %q", text, key)
+		}
+		seen[key] = true
+		if err := ev.setParam(key, strings.TrimSpace(val)); err != nil {
 			return ev, fmt.Errorf("faults: event %q: %v", text, err)
 		}
 	}
@@ -305,7 +443,9 @@ func parseEvent(text string) (Event, error) {
 func (e *Event) setParam(key, val string) error {
 	switch key {
 	case "dir":
-		if e.Kind != HalfDuplex && e.Kind != Storm && e.Kind != Burst {
+		switch e.Kind {
+		case HalfDuplex, Storm, Burst, Ghost, Reorder:
+		default:
 			return fmt.Errorf("dir does not apply to %s", e.Kind)
 		}
 		d, err := parseDir(val)
@@ -318,7 +458,7 @@ func (e *Event) setParam(key, val string) error {
 		e.Dir = d
 		return nil
 	case "period":
-		if e.Kind != Storm {
+		if e.Kind != Storm && e.Kind != Scramble && e.Kind != Ghost {
 			return fmt.Errorf("period does not apply to %s", e.Kind)
 		}
 		d, err := parseSpecDur(val)
@@ -326,6 +466,16 @@ func (e *Event) setParam(key, val string) error {
 			return fmt.Errorf("bad period %q", val)
 		}
 		e.Period = d
+		return nil
+	case "jitter":
+		if e.Kind != Reorder {
+			return fmt.Errorf("jitter does not apply to %s", e.Kind)
+		}
+		d, err := parseSpecDur(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad jitter %q", val)
+		}
+		e.Jitter = d
 		return nil
 	case "naks":
 		if e.Kind != Storm {

@@ -7,32 +7,34 @@ import "repro/internal/metrics"
 // snapshots and /metrics read. All instruments are nil with a nil registry,
 // making every increment a no-op.
 type senderInstr struct {
-	firstTx      *metrics.Counter   // hdlc_iframes_first_tx_total
-	retx         *metrics.Counter   // hdlc_iframes_retx_total (all causes)
-	timeoutPolls *metrics.Counter   // hdlc_timeout_polls_total: T1 expiry resends
-	srejRetx     *metrics.Counter   // hdlc_srej_retx_total
-	rejRetx      *metrics.Counter   // hdlc_rej_retx_total: Go-Back-N back-up resends
-	stutterRetx  *metrics.Counter   // hdlc_stutter_retx_total: idle-wire repeats
-	rrHeard      *metrics.Counter   // hdlc_rr_heard_total: non-stale RRs applied
-	releases     *metrics.Counter   // hdlc_releases_total: frames cumulatively acked
-	failures     *metrics.Counter   // hdlc_failures_total: N2 retry exhaustion
-	outstanding  *metrics.Gauge     // hdlc_send_outstanding
-	holdingNS    *metrics.Histogram // hdlc_holding_time_ns
+	firstTx       *metrics.Counter   // hdlc_iframes_first_tx_total
+	retx          *metrics.Counter   // hdlc_iframes_retx_total (all causes)
+	timeoutPolls  *metrics.Counter   // hdlc_timeout_polls_total: T1 expiry resends
+	srejRetx      *metrics.Counter   // hdlc_srej_retx_total
+	rejRetx       *metrics.Counter   // hdlc_rej_retx_total: Go-Back-N back-up resends
+	stutterRetx   *metrics.Counter   // hdlc_stutter_retx_total: idle-wire repeats
+	rrHeard       *metrics.Counter   // hdlc_rr_heard_total: non-stale RRs applied
+	implausibleRR *metrics.Counter   // hdlc_implausible_rr_total: RRs refused for N(R) above nextSeq
+	releases      *metrics.Counter   // hdlc_releases_total: frames cumulatively acked
+	failures      *metrics.Counter   // hdlc_failures_total: N2 retry exhaustion
+	outstanding   *metrics.Gauge     // hdlc_send_outstanding
+	holdingNS     *metrics.Histogram // hdlc_holding_time_ns
 }
 
 func newSenderInstr(reg *metrics.Registry) senderInstr {
 	return senderInstr{
-		firstTx:      reg.Counter("hdlc_iframes_first_tx_total"),
-		retx:         reg.Counter("hdlc_iframes_retx_total"),
-		timeoutPolls: reg.Counter("hdlc_timeout_polls_total"),
-		srejRetx:     reg.Counter("hdlc_srej_retx_total"),
-		rejRetx:      reg.Counter("hdlc_rej_retx_total"),
-		stutterRetx:  reg.Counter("hdlc_stutter_retx_total"),
-		rrHeard:      reg.Counter("hdlc_rr_heard_total"),
-		releases:     reg.Counter("hdlc_releases_total"),
-		failures:     reg.Counter("hdlc_failures_total"),
-		outstanding:  reg.Gauge("hdlc_send_outstanding"),
-		holdingNS:    reg.Histogram("hdlc_holding_time_ns", metrics.ExpBuckets(1e5, 2, 24)),
+		firstTx:       reg.Counter("hdlc_iframes_first_tx_total"),
+		retx:          reg.Counter("hdlc_iframes_retx_total"),
+		timeoutPolls:  reg.Counter("hdlc_timeout_polls_total"),
+		srejRetx:      reg.Counter("hdlc_srej_retx_total"),
+		rejRetx:       reg.Counter("hdlc_rej_retx_total"),
+		stutterRetx:   reg.Counter("hdlc_stutter_retx_total"),
+		rrHeard:       reg.Counter("hdlc_rr_heard_total"),
+		implausibleRR: reg.Counter("hdlc_implausible_rr_total"),
+		releases:      reg.Counter("hdlc_releases_total"),
+		failures:      reg.Counter("hdlc_failures_total"),
+		outstanding:   reg.Gauge("hdlc_send_outstanding"),
+		holdingNS:     reg.Histogram("hdlc_holding_time_ns", metrics.ExpBuckets(1e5, 2, 24)),
 	}
 }
 

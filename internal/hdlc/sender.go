@@ -143,6 +143,12 @@ func (s *Sender) schedulePump(d sim.Duration) {
 func (s *Sender) pump() {
 	s.pumpArmed = false
 	now := s.sched.Now()
+	// Pacing debt is at most one frame time in normal operation; a
+	// wireFree further out than one T1 period was written by state
+	// corruption and would halt transmission on a healthy link.
+	if limit := now.Add(s.cfg.Timeout); s.wireFree > limit {
+		s.wireFree = limit
+	}
 	if now < s.wireFree {
 		s.schedulePump(s.wireFree.Sub(now))
 		return
@@ -330,18 +336,20 @@ func (s *Sender) UnreleasedDatagrams() []arq.Datagram {
 	return out
 }
 
-// HandleFrame processes supervisory frames from the receiver. Any readable
-// supervisory frame is proof of life, so it resets the N2 count.
+// HandleFrame processes supervisory frames from the receiver.
 func (s *Sender) HandleFrame(now sim.Time, f *frame.Frame) {
 	if f.Corrupted || s.failed {
 		return
 	}
-	switch f.Kind {
-	case frame.KindRR, frame.KindSREJ, frame.KindREJ:
-		s.timeoutsInRow = 0
-	default:
-		return
-	}
+	// The N2 count resets only on window PROGRESS (handleRR, after a
+	// release), never on mere supervisory chatter. A receiver with
+	// corrupted state can answer every T1 poll forever — implausible RRs,
+	// stale RRs below a poisoned sendBase, REJ storms demanding a frame the
+	// sender no longer holds — and counting that chatter as proof of life
+	// livelocks the link: polls and rejections cycle eternally with the
+	// window never sliding and failure never declared. Sixteen-odd T1
+	// periods without one frame released is a dead link whatever else is
+	// arriving.
 	switch f.Kind {
 	case frame.KindRR:
 		s.handleRR(now, f)
@@ -355,9 +363,21 @@ func (s *Sender) HandleFrame(now sim.Time, f *frame.Frame) {
 // handleRR releases everything below N(R) (cumulative positive ack) and
 // slides the window.
 func (s *Sender) handleRR(now sim.Time, f *frame.Frame) {
+	if f.Ack > s.nextSeq {
+		// N(R) above anything ever transmitted cannot be a genuine
+		// acknowledgement: forged, or corrupted-yet-FCS-valid. Applying it
+		// would release the whole window unseen AND advance sendBase past
+		// nextSeq, after which every legitimate RR reads as stale — the
+		// window could never release again. Refuse it; T1/N2 supervision
+		// carries the link (recovery if the receiver is sane, bounded
+		// failure declaration if its state is truly gone).
+		s.im.implausibleRR.Inc()
+		return
+	}
 	if f.Ack <= s.sendBase {
 		return // stale
 	}
+	s.timeoutsInRow = 0 // forward progress: the link is alive
 	s.im.rrHeard.Inc()
 	w := 0
 	for _, e := range s.window {

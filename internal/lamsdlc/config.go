@@ -102,11 +102,37 @@ type Config struct {
 	// within the window (bounded, unlike full in-sequence state).
 	DedupWindow sim.Duration
 
+	// MaxSeqJump bounds the forward distance between the receiver's next
+	// expected sequence number and an arriving I-frame's. The monotone
+	// numbering makes the legitimate jump small — at most the live window,
+	// itself bounded by the numbering size (§2.3) — so a frame claiming a
+	// far-future number can only be forged or corrupted-yet-CRC-valid, and
+	// accepting it would both flood the NAK lists with millions of
+	// phantom gaps and advance the watermark past every genuine frame in
+	// flight (permanently wedging the link, since all real traffic then
+	// classifies as duplicate). Frames beyond the bound are discarded and
+	// counted (lams_implausible_seq_total). Zero means DefaultMaxSeqJump.
+	MaxSeqJump uint32
+
 	// Metrics, when non-nil, is the registry the endpoints report their
 	// lams_* observability counters, gauges, and histograms into (see
 	// instruments.go for the full name list). Nil leaves the endpoints
 	// uninstrumented at near-zero cost.
 	Metrics *metrics.Registry
+}
+
+// DefaultMaxSeqJump is the MaxSeqJump applied when the field is zero: far
+// wider than any legitimate live window the paper's operating points
+// produce (NumberingSize tops out in the hundreds), yet small enough that
+// a forged far-future sequence number cannot materialize phantom state.
+const DefaultMaxSeqJump = 1 << 12
+
+// SeqJumpLimit returns the effective MaxSeqJump.
+func (c Config) SeqJumpLimit() uint32 {
+	if c.MaxSeqJump == 0 {
+		return DefaultMaxSeqJump
+	}
+	return c.MaxSeqJump
 }
 
 // Defaults returns a configuration tuned for the paper's environment: a

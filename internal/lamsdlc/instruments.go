@@ -26,6 +26,7 @@ type senderInstr struct {
 	failures      *metrics.Counter   // lams_link_failures_total
 	releases      *metrics.Counter   // lams_releases_total: frames positively released
 	rateChanges   *metrics.Counter   // lams_rate_changes_total: Stop-Go rate adjustments
+	implausibleCp *metrics.Counter   // lams_implausible_cp_total: checkpoint watermarks distrusted for exceeding nextSeq
 	rateFraction  *metrics.Gauge     // lams_send_rate_fraction
 	outstanding   *metrics.Gauge     // lams_send_outstanding
 	liveSpan      *metrics.Histogram // lams_resolving_span: live seq span per checkpoint
@@ -48,6 +49,7 @@ func newSenderInstr(reg *metrics.Registry) senderInstr {
 		failures:      reg.Counter("lams_link_failures_total"),
 		releases:      reg.Counter("lams_releases_total"),
 		rateChanges:   reg.Counter("lams_rate_changes_total"),
+		implausibleCp: reg.Counter("lams_implausible_cp_total"),
 		rateFraction:  reg.Gauge("lams_send_rate_fraction"),
 		outstanding:   reg.Gauge("lams_send_outstanding"),
 		liveSpan:      reg.Histogram("lams_resolving_span", metrics.ExpBuckets(1, 2, 16)),
@@ -56,31 +58,33 @@ func newSenderInstr(reg *metrics.Registry) senderInstr {
 }
 
 type receiverInstr struct {
-	checkpoints  *metrics.Counter   // lams_checkpoints_sent_total
-	naksReported *metrics.Counter   // lams_cp_naks_reported_total: NAK entries in emitted checkpoints
-	enforcedSent *metrics.Counter   // lams_enforced_naks_sent_total
-	reqNAKsHeard *metrics.Counter   // lams_request_naks_heard_total
-	gaps         *metrics.Counter   // lams_gaps_detected_total: missing seqs found
-	dropped      *metrics.Counter   // lams_recv_dropped_total: receive-buffer overflow discards
-	dups         *metrics.Counter   // lams_dup_suppressed_total
-	delivered    *metrics.Counter   // lams_delivered_total
-	stopGoFlips  *metrics.Counter   // lams_stopgo_transitions_total
-	queueLen     *metrics.Gauge     // lams_recv_queue_len
-	cpSpacingNS  *metrics.Histogram // lams_checkpoint_spacing_ns
+	checkpoints    *metrics.Counter   // lams_checkpoints_sent_total
+	naksReported   *metrics.Counter   // lams_cp_naks_reported_total: NAK entries in emitted checkpoints
+	enforcedSent   *metrics.Counter   // lams_enforced_naks_sent_total
+	reqNAKsHeard   *metrics.Counter   // lams_request_naks_heard_total
+	gaps           *metrics.Counter   // lams_gaps_detected_total: missing seqs found
+	implausibleSeq *metrics.Counter   // lams_implausible_seq_total: I-frames discarded for a seq jump beyond MaxSeqJump
+	dropped        *metrics.Counter   // lams_recv_dropped_total: receive-buffer overflow discards
+	dups           *metrics.Counter   // lams_dup_suppressed_total
+	delivered      *metrics.Counter   // lams_delivered_total
+	stopGoFlips    *metrics.Counter   // lams_stopgo_transitions_total
+	queueLen       *metrics.Gauge     // lams_recv_queue_len
+	cpSpacingNS    *metrics.Histogram // lams_checkpoint_spacing_ns
 }
 
 func newReceiverInstr(reg *metrics.Registry) receiverInstr {
 	return receiverInstr{
-		checkpoints:  reg.Counter("lams_checkpoints_sent_total"),
-		naksReported: reg.Counter("lams_cp_naks_reported_total"),
-		enforcedSent: reg.Counter("lams_enforced_naks_sent_total"),
-		reqNAKsHeard: reg.Counter("lams_request_naks_heard_total"),
-		gaps:         reg.Counter("lams_gaps_detected_total"),
-		dropped:      reg.Counter("lams_recv_dropped_total"),
-		dups:         reg.Counter("lams_dup_suppressed_total"),
-		delivered:    reg.Counter("lams_delivered_total"),
-		stopGoFlips:  reg.Counter("lams_stopgo_transitions_total"),
-		queueLen:     reg.Gauge("lams_recv_queue_len"),
-		cpSpacingNS:  reg.Histogram("lams_checkpoint_spacing_ns", metrics.ExpBuckets(1e5, 2, 24)),
+		checkpoints:    reg.Counter("lams_checkpoints_sent_total"),
+		naksReported:   reg.Counter("lams_cp_naks_reported_total"),
+		enforcedSent:   reg.Counter("lams_enforced_naks_sent_total"),
+		reqNAKsHeard:   reg.Counter("lams_request_naks_heard_total"),
+		gaps:           reg.Counter("lams_gaps_detected_total"),
+		implausibleSeq: reg.Counter("lams_implausible_seq_total"),
+		dropped:        reg.Counter("lams_recv_dropped_total"),
+		dups:           reg.Counter("lams_dup_suppressed_total"),
+		delivered:      reg.Counter("lams_delivered_total"),
+		stopGoFlips:    reg.Counter("lams_stopgo_transitions_total"),
+		queueLen:       reg.Gauge("lams_recv_queue_len"),
+		cpSpacingNS:    reg.Histogram("lams_checkpoint_spacing_ns", metrics.ExpBuckets(1e5, 2, 24)),
 	}
 }

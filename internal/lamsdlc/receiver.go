@@ -158,6 +158,17 @@ func (r *Receiver) handleI(now sim.Time, f *frame.Frame) {
 		frame.Put(f)
 		return
 	}
+	if f.Seq-r.expected > r.cfg.SeqJumpLimit() {
+		// A forward jump wider than any legitimate live window can only
+		// be a forged or corrupted-yet-CRC-valid frame. Accepting it
+		// would append one phantom NAK per skipped number and advance the
+		// watermark past every genuine frame in flight, classifying all
+		// subsequent real traffic as duplicate — a single such frame
+		// permanently wedged the link. Discard without touching state.
+		r.im.implausibleSeq.Inc()
+		frame.Put(f)
+		return
+	}
 	// Gap detection: every sequence number skipped over was a frame
 	// damaged or destroyed on the wire (the sender numbers all
 	// transmissions, including retransmissions, consecutively).
@@ -371,7 +382,14 @@ func (r *Receiver) recordSeen(id uint64, now sim.Time) {
 	r.dedupAge.PushBack(dedupRec{id: id, at: now})
 	for r.dedupAge.Len() > 0 {
 		rec := r.dedupAge.Front()
-		if now.Sub(rec.at) <= r.cfg.DedupWindow {
+		// A future-dated record (possible only under state corruption —
+		// timestamps are stamped from the monotone clock) must count as
+		// expired, not fresh: the signed Sub comes out negative, which the
+		// window test would read as "well inside the window", wedging the
+		// FIFO behind an entry that never ages and growing the map without
+		// bound — the exact memory-bound §3.2 argues the dedup design
+		// avoids.
+		if rec.at <= now && now.Sub(rec.at) <= r.cfg.DedupWindow {
 			break
 		}
 		r.dedupAge.PopFront()

@@ -216,6 +216,13 @@ func (s *Sender) pump() {
 		return
 	}
 	now := s.sched.Now()
+	// The pacing debt is bounded by one resolving period (see retransmit);
+	// a wireFreeAt further out than that was written by state corruption,
+	// not by budget accounting, and honoring it would halt new I-frames
+	// for arbitrarily long on an otherwise healthy link.
+	if limit := now.Add(s.cfg.ResolvingPeriod()); s.wireFreeAt > limit {
+		s.wireFreeAt = limit
+	}
 	if now < s.wireFreeAt {
 		s.schedulePump(s.wireFreeAt.Sub(now))
 		return
@@ -265,6 +272,24 @@ func (s *Sender) HandleFrame(now sim.Time, f *frame.Frame) {
 }
 
 func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
+	// A watermark above anything ever transmitted cannot be a genuine
+	// positive acknowledgement: either the frame is forged, or the
+	// receiver's own watermark was poisoned past nextSeq by forged
+	// I-frames. Trusting it would release every outstanding entry —
+	// silently losing datagrams that were never delivered. Distrust ONLY
+	// the watermark (effAck = 0 disables releases this round) and keep
+	// processing everything else: the liveness re-arm, the NAK list
+	// (window-checked, so worst case is a spurious retransmission), and
+	// the enforced-recovery correlation. Discarding the whole frame
+	// instead would wedge a live link whose receiver watermark ran ahead
+	// — every checkpoint would read as silence, recovery would halt the
+	// pump, and nextSeq could never catch up to re-legitimize the
+	// watermark.
+	effAck := f.Ack
+	if f.Ack > s.nextSeq {
+		effAck = 0
+		s.im.implausibleCp.Inc()
+	}
 	// Any readable checkpoint proves the receiver is alive: re-arm the
 	// checkpoint timer (§3.2: reset to zero after each Check-Point).
 	s.lastCpAt = now
@@ -319,6 +344,15 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 		s.im.enforcedHeard.Inc()
 	}
 	if s.recovering {
+		// Monotone-clock repair: reqSentAt can only sit in the future if
+		// state corruption wrote it there, and a future solicitation
+		// instant disables the overdue-response re-solicit below (and the
+		// free retry in onFailureTimeout) indefinitely. Clamping to now
+		// restores the invariant every later comparison assumes; the cost
+		// is at most one ExpectedResponse of extra patience.
+		if s.reqSentAt > now {
+			s.reqSentAt = now
+		}
 		if f.Enforced {
 			// Enforced-NAK / Resolving command answers our Request-NAK and
 			// ends Enforced Recovery. The C_depth·W_cp silence window
@@ -364,10 +398,10 @@ func (s *Sender) handleCheckpoint(now sim.Time, f *frame.Frame) {
 			// a new number. (Stale NAKs name retired seqs and miss.)
 			retransmit = append(retransmit, retxDecision{e, RetxNAK})
 			s.im.retxNAK.Inc()
-		case e.seq < f.Ack && covered:
+		case e.seq < effAck && covered:
 			// Covered positive acknowledgement: release buffer space.
 			s.release(now, e)
-		case e.seq < f.Ack && !covered:
+		case e.seq < effAck && !covered:
 			// Watermark says delivered but the report chain is broken;
 			// retransmit rather than risk loss (duplicates are resolved
 			// downstream). Frames still in flight are left alone.
@@ -534,6 +568,12 @@ func (s *Sender) recoverableFailure() bool {
 func (s *Sender) onFailureTimeout() {
 	if s.failed {
 		return
+	}
+	// Same monotone-clock repair as the recovery branch of
+	// handleCheckpoint: a corrupted future reqSentAt must not turn the
+	// live-receiver free retry below into a budgeted one.
+	if now := s.sched.Now(); s.reqSentAt > now {
+		s.reqSentAt = now
 	}
 	// If regular checkpoints arrived after the Request-NAK went out, the
 	// receiver is demonstrably alive and only the Request-NAK or its

@@ -1,0 +1,194 @@
+package ssarq
+
+import (
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Pair wires a Sender and Receiver across a full-duplex link: I-frames
+// A→B, echo acknowledgements B→A. It is the SS-ARQ implementation of the
+// arq.Pair engine contract, plus the two corruption-adversary surfaces
+// (arq.StateCorruptor, arq.GhostForger) that let the fault injector
+// exercise the self-stabilization claim directly.
+type Pair struct {
+	Sender   *Sender
+	Receiver *Receiver
+	cfg      Config
+	metrics  *arq.Metrics
+	rmetrics *arq.Metrics
+	merged   arq.Metrics
+	link     *channel.Link
+}
+
+// NewPair builds and wires the endpoints. deliver and onFailure may be
+// nil; onFailure is never invoked (SS-ARQ declares no failures).
+func NewPair(sched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc, onFailure arq.FailureFunc) *Pair {
+	m := &arq.Metrics{}
+	s := NewSender(sched, link.AtoB, cfg, m, onFailure)
+	r := NewReceiver(sched, link.BtoA, cfg, m, deliver)
+	link.AtoB.SetHandler(r.HandleFrame)
+	link.BtoA.SetHandler(s.HandleFrame)
+	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: m, link: link}
+}
+
+// NewSplitPair is NewPair for a session whose two ends live on different
+// shards; each side gets its own metrics block (see lamsdlc.NewSplitPair).
+// The corruption adversary is not wired across shards — CorruptState and
+// ForgeGhost are driven only by the single-scheduler fault harness.
+func NewSplitPair(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg Config, deliver arq.DeliverFunc, onFailure arq.FailureFunc) *Pair {
+	ms, mr := &arq.Metrics{}, &arq.Metrics{}
+	s := NewSender(sendSched, link.AtoB, cfg, ms, onFailure)
+	r := NewReceiver(recvSched, link.BtoA, cfg, mr, deliver)
+	link.AtoB.SetHandler(r.HandleFrame)
+	link.BtoA.SetHandler(s.HandleFrame)
+	return &Pair{Sender: s, Receiver: r, cfg: cfg, metrics: ms, rmetrics: mr, link: link}
+}
+
+// Start activates both ends.
+func (p *Pair) Start() {
+	p.Sender.Start()
+	p.Receiver.Start()
+}
+
+// Stop is orderly teardown; undelivered datagrams stay reclaimable.
+func (p *Pair) Stop() {
+	p.Receiver.Stop()
+	p.Sender.Shutdown()
+}
+
+// Enqueue accepts a datagram from the network layer.
+func (p *Pair) Enqueue(dg arq.Datagram) bool { return p.Sender.Enqueue(dg) }
+
+// Reclaim returns the datagrams the sender still holds, oldest first.
+func (p *Pair) Reclaim() []arq.Datagram { return p.Sender.UnreleasedDatagrams() }
+
+// Outstanding returns the sending-buffer occupancy.
+func (p *Pair) Outstanding() int { return p.Sender.Outstanding() }
+
+// Failed reports whether the pair was stopped; SS-ARQ never declares
+// link failure on its own.
+func (p *Pair) Failed() bool { return p.Sender.Failed() }
+
+// Metrics exposes the pair's measurement block (merged on demand for a
+// split pair; call only while both shards are quiesced).
+func (p *Pair) Metrics() *arq.Metrics {
+	if p.rmetrics == nil {
+		return p.metrics
+	}
+	p.merged = arq.MergeSplit(p.metrics, p.rmetrics)
+	return &p.merged
+}
+
+// Link exposes the underlying simulated link.
+func (p *Pair) Link() *channel.Link { return p.link }
+
+// SetProbe installs the transition observer on both ends.
+func (p *Pair) SetProbe(pr *arq.Probe) {
+	p.Sender.SetProbe(pr)
+	p.Receiver.SetProbe(pr)
+}
+
+// CorruptState implements arq.StateCorruptor with the strongest contract
+// in the registry: ANY protocol state may be overwritten — that is the
+// self-stabilization claim under test. Each call rewrites, per lane with
+// independent 1-in-3 probability, the sender's label and token, and per
+// slot with the same probability the receiver's remembered packed value
+// and its validity bit. Only the datagram buffer itself is out of scope,
+// mirroring the Dolev model where corruption hits protocol state, not the
+// application's packet store. A rewrite of a busy lane is reported through
+// the probe as a renumbering retransmission — and transmitted — so the
+// external observation stays consistent with the wire (the §13 ownership
+// contract) and the checker keeps measuring the engine.
+func (p *Pair) CorruptState(rng *sim.RNG) {
+	s := p.Sender
+	now := s.sched.Now()
+	for i := range s.lanes {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		ln := &s.lanes[i]
+		ln.label = uint32(rng.Intn(labelMod))
+		ln.token = uint32(rng.Uint64()) & tokenMask
+		if !ln.busy {
+			continue
+		}
+		old := ln.seq
+		ln.seq = Pack(ln.label, i, ln.token)
+		if ln.seq == old {
+			continue
+		}
+		s.send(ln)
+		ln.lastTx = now
+		s.m.Retransmissions.Inc()
+		s.instr.retx.Inc()
+		if s.probe != nil && s.probe.Retransmitted != nil {
+			s.probe.Retransmitted(now, old, ln.seq, ln.dg.ID, arq.RetxTimeout)
+		}
+	}
+	r := p.Receiver
+	for i := range r.last {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		r.last[i] = uint32(rng.Uint64())
+		r.have[i] = rng.Intn(2) == 0
+	}
+}
+
+// ghostPayload is the shared body of forged I-frames. The pipe copies
+// frames on Send and payload bytes are never mutated downstream, so one
+// package-level slice serves every forgery.
+var ghostPayload = make([]byte, 32)
+
+// ForgeGhost implements arq.GhostForger. Half the forgeries replay live
+// sender state — the exact current packed value of a random busy lane —
+// which toward the receiver substitutes the ghost's payload for the real
+// frame's, and toward the sender forces a spurious release; the other half
+// carry uniformly random packed values, which a converged engine must
+// shrug off (random token collision probability ~2^-24). Both halves are
+// bounded-casualty events the checker excuses inside the corruption era.
+func (p *Pair) ForgeGhost(rng *sim.RNG, toReceiver bool) *frame.Frame {
+	s := p.Sender
+	var seq uint32
+	var dgID uint64
+	if rng.Intn(2) == 0 && s.nbusy > 0 {
+		// Replay a live lane, scanning from a random start so every busy
+		// lane is reachable.
+		start := rng.Intn(len(s.lanes))
+		for k := range s.lanes {
+			ln := &s.lanes[(start+k)%len(s.lanes)]
+			if ln.busy {
+				seq, dgID = ln.seq, ln.dg.ID
+				break
+			}
+		}
+	} else {
+		seq = Pack(uint32(rng.Intn(labelMod)), rng.Intn(len(s.lanes)), uint32(rng.Uint64())&tokenMask)
+		dgID = 1<<63 | rng.Uint64()>>1 // high bit keeps forged IDs clear of real ones
+	}
+	f := frame.Get()
+	if toReceiver {
+		f.Kind = frame.KindI
+		f.Seq = seq
+		f.DatagramID = dgID
+		f.Payload = ghostPayload
+		f.EnqueuedNS = int64(s.sched.Now())
+	} else {
+		f.Kind = frame.KindRR
+		f.Ack = seq
+	}
+	return f
+}
+
+// Compile-time contract checks.
+var (
+	_ arq.Pair               = (*Pair)(nil)
+	_ arq.StateCorruptor     = (*Pair)(nil)
+	_ arq.GhostForger        = (*Pair)(nil)
+	_ arq.StabilizationBound = Config{}
+	_ arq.EngineConfig       = Config{}
+	_ arq.Endpoint           = (*Sender)(nil)
+	_ arq.Endpoint           = (*Receiver)(nil)
+)

@@ -1,0 +1,37 @@
+package ssarq
+
+import (
+	"fmt"
+
+	"repro/internal/arq"
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// init publishes SS-ARQ in the engine registry, so every protocol-agnostic
+// layer (node, session, bench, faults, the CLIs) can run the
+// self-stabilizing engine by name next to LAMS-DLC and the HDLC baselines.
+func init() {
+	arq.Register(arq.Registration{
+		Name:    "ssarq",
+		Aliases: []string{"ss", "ss-arq", "stab"},
+		Display: "SS-ARQ",
+		Defaults: func(roundTrip sim.Duration) arq.EngineConfig {
+			return Defaults(roundTrip)
+		},
+		New: func(sched *sim.Scheduler, link *channel.Link, cfg arq.EngineConfig, deliver arq.DeliverFunc, onFailure arq.FailureFunc) arq.Pair {
+			c, ok := cfg.(Config)
+			if !ok {
+				panic(fmt.Sprintf("ssarq: engine %q given %T, want ssarq.Config", "ssarq", cfg))
+			}
+			return NewPair(sched, link, c, deliver, onFailure)
+		},
+		NewSplit: func(sendSched, recvSched *sim.Scheduler, link *channel.Link, cfg arq.EngineConfig, deliver arq.DeliverFunc, onFailure arq.FailureFunc) arq.Pair {
+			c, ok := cfg.(Config)
+			if !ok {
+				panic(fmt.Sprintf("ssarq: engine %q given %T, want ssarq.Config", "ssarq", cfg))
+			}
+			return NewSplitPair(sendSched, recvSched, link, c, deliver, onFailure)
+		},
+	})
+}
