@@ -12,7 +12,7 @@ test:
 # the test binary so a regression that only bites the benchmark paths fails
 # CI instead of the next perf investigation.
 .PHONY: ci
-ci: test cover faultmatrix stabmatrix lint allocsmoke constsmoke
+ci: test cover faultmatrix stabmatrix lint allocsmoke constsmoke tracesmoke
 	go test -race ./...
 	go test ./internal/sim -run xxx -bench 'BenchmarkScheduler|BenchmarkTimer' -benchtime 100x -benchmem
 
@@ -36,6 +36,18 @@ stabmatrix:
 .PHONY: constsmoke
 constsmoke:
 	go test ./internal/shard -race -count=1 -run 'TestConstellationSmoke|TestConstellationShardInvariance|TestEngine'
+
+# Trace smoke (ISSUE 10): the channel-model registry's malformed-spec
+# rejection table, the trace codec round-trip, and the record→replay golden
+# pins — seeds 1–5 byte-identical to the live runs they were recorded from,
+# and the replay batch byte-identical at workers 1 vs 8. The bench half runs
+# under the race detector because replayed TraceSets are shared read-only
+# across the worker pool; that sharing is exactly the surface a future
+# mutation bug would race on.
+.PHONY: tracesmoke
+tracesmoke:
+	go test ./internal/channel -count=1 -run 'TestParseModel|TestModelNew|TestLegacySpecs|TestTrace|TestRecorder|TestReplay|TestEncode|TestReadTrace|TestImportTwoColumn|TestGESplitClock|TestSpecGrammar'
+	go test ./internal/bench -race -count=1 -run 'TestTraceRoundTripSeeds|TestTraceReplayWorkerInvariance|TestTraceReplayEveryEngine|TestAnalyticalModelProb'
 
 # Allocation-budget smoke (ISSUE 6): the E4 sweep must stay inside the
 # allocs/op budget pinned in BENCH_PR6.json (229483 before the per-run

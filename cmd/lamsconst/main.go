@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/arq"
+	"repro/internal/channel"
 	_ "repro/internal/engines"
 	"repro/internal/orbit"
 	"repro/internal/shard"
@@ -46,6 +47,8 @@ func main() {
 		payload   = flag.Int("payload", 256, "payload bytes")
 		interval  = flag.Duration("interval", 2*time.Millisecond, "offer interval per flow")
 		rate      = flag.Float64("rate", 300e6, "crosslink rate, bits/s")
+		imodel    = flag.String("imodel", "", "per-link I-frame error model spec: "+channel.SpecGrammar())
+		cmodel    = flag.String("cmodel", "", "per-link control-frame error model spec (same grammar)")
 		horizon   = flag.Duration("horizon", 30*time.Second, "virtual-time cap")
 		full      = flag.Bool("to-horizon", false, "run the full horizon instead of stopping at completion")
 		sweep     = flag.String("sweep", "", "comma-separated grid sizes to sweep (overrides -sats)")
@@ -91,6 +94,8 @@ func main() {
 		cfg.PayloadBytes = *payload
 		cfg.OfferInterval = sim.Duration(*interval)
 		cfg.RateBps = *rate
+		cfg.IModelSpec = *imodel
+		cfg.CModelSpec = *cmodel
 		cfg.Horizon = sim.Duration(*horizon)
 		cfg.RunToHorizon = *full
 		cfg.PolarDeg = *polar

@@ -21,7 +21,6 @@ import (
 	"repro/internal/bench"
 	"repro/internal/channel"
 	"repro/internal/faults"
-	"repro/internal/fec"
 	"repro/internal/frame"
 	"repro/internal/live"
 	"repro/internal/metrics"
@@ -58,8 +57,11 @@ func main() {
 		payload = flag.Int("payload", 1024, "payload bytes per datagram")
 		rate    = flag.Float64("rate", 300e6, "link rate, bits/s")
 		km      = flag.Float64("km", 4000, "link distance, km")
-		ber     = flag.Float64("ber", 0, "channel BER (through the link FEC)")
-		pf      = flag.Float64("pf", -1, "fixed I-frame error probability (overrides -ber)")
+		imodel  = flag.String("imodel", "", "I-frame error model spec: "+channel.SpecGrammar())
+		cmodel  = flag.String("cmodel", "", "control-frame error model spec (same grammar)")
+		record  = flag.String("record", "", "write the run's per-frame channel decisions to this trace file (replay with -imodel trace:file=...)")
+		ber     = flag.Float64("ber", 0, "channel BER (through the link FEC; shorthand for -imodel/-cmodel bsc specs)")
+		pf      = flag.Float64("pf", -1, "fixed I-frame error probability (overrides -ber; shorthand for fixed: specs)")
 		pc      = flag.Float64("pc", -1, "fixed control-frame error probability (overrides -ber)")
 		icp     = flag.Duration("icp", 10*time.Millisecond, "LAMS checkpoint interval W_cp")
 		cdepth  = flag.Int("cdepth", 3, "LAMS cumulation depth C_depth")
@@ -110,17 +112,25 @@ func main() {
 	}
 
 	frameBits := (*payload + 21) * 8
-	switch {
-	case *pf >= 0:
-		c.IModel = channel.FixedProb{P: *pf}
-		pcv := *pc
-		if pcv < 0 {
-			pcv = 0
+	// One spec pair drives both frame classes; the legacy -pf/-pc/-ber
+	// shorthands map onto the same registry grammar.
+	c.IModelSpec, c.CModelSpec = *imodel, *cmodel
+	if c.IModelSpec == "" && c.CModelSpec == "" {
+		c.IModelSpec, c.CModelSpec = channel.LegacySpecs(*ber, *pf, *pc)
+	}
+	for _, spec := range []string{c.IModelSpec, c.CModelSpec} {
+		if spec == "" {
+			continue
 		}
-		c.CModel = channel.FixedProb{P: pcv}
-	case *ber > 0:
-		c.IModel = &channel.BSC{BER: *ber, Scheme: fec.Hamming74}
-		c.CModel = &channel.BSC{BER: *ber, Scheme: fec.Repetition3}
+		if _, err := channel.ParseModel(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "lamsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var recorded *channel.TraceSet
+	if *record != "" {
+		recorded = channel.NewTraceSet()
+		c.RecordChannels = recorded
 	}
 
 	var rec *trace.Recorder
@@ -191,6 +201,18 @@ func main() {
 	}
 	if rec != nil {
 		fmt.Printf("\n--- last %d link events ---\n%s", len(rec.Events()), rec.Dump())
+	}
+	if recorded != nil {
+		if err := recorded.WriteFile(*record); err != nil {
+			fmt.Fprintf(os.Stderr, "lamsim: channel trace: %v\n", err)
+			os.Exit(2)
+		}
+		frames := 0
+		for _, name := range recorded.Names() {
+			frames += len(recorded.Get(name).Recs)
+		}
+		fmt.Printf("channel trace   %d frames (%d streams) -> %s\n",
+			frames, len(recorded.Names()), *record)
 	}
 	if jsonl != nil {
 		if err := jsonl.Err(); err != nil {

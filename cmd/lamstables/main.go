@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E19)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E21)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	figures := flag.Bool("figures", false, "render each experiment's series as terminal charts")
 	withMetrics := flag.Bool("metrics", false,
@@ -104,5 +104,7 @@ func describe() [][2]string {
 		{"E17", "checkpoint interval W_cp ablation"},
 		{"E18", "multi-hop relay over every registered engine"},
 		{"E19", "constellation-scale sharded simulation (64→1,024 satellites)"},
+		{"E20", "state-corruption convergence sweep (scramble/ghost/reorder)"},
+		{"E21", "trace-driven channel record/replay over every registered engine"},
 	}
 }

@@ -21,7 +21,6 @@ import (
 	"repro/internal/arq"
 	"repro/internal/bench"
 	"repro/internal/channel"
-	"repro/internal/fec"
 	"repro/internal/orbit"
 )
 
@@ -34,8 +33,10 @@ func main() {
 		payload = flag.Int("payload", 1024, "payload bytes")
 		rate    = flag.Float64("rate", 300e6, "link rate, bits/s")
 		km      = flag.Float64("km", 4000, "link distance, km")
-		ber     = flag.Float64("ber", 0, "base BER when not swept")
-		pf      = flag.Float64("pf", -1, "fixed P_F when not swept (overrides ber)")
+		imodel  = flag.String("imodel", "", "I-frame error model spec when not swept: "+channel.SpecGrammar())
+		cmodel  = flag.String("cmodel", "", "control-frame error model spec (same grammar)")
+		ber     = flag.Float64("ber", 0, "base BER when not swept (shorthand for bsc specs)")
+		pf      = flag.Float64("pf", -1, "fixed P_F when not swept (overrides ber; shorthand for fixed: specs)")
 		pc      = flag.Float64("pc", -1, "fixed P_C (with -pf)")
 		icp     = flag.Duration("icp", 10*time.Millisecond, "checkpoint interval")
 		cdepth  = flag.Int("cdepth", 3, "cumulation depth")
@@ -88,12 +89,12 @@ func main() {
 			fatal("bad value %q: %v", vs, err)
 		}
 		c := base
-		applyErrors(&c, *ber, *pf, *pc)
+		applyModels(&c, *imodel, *cmodel, *ber, *pf, *pc)
 		switch *param {
 		case "ber":
-			applyErrors(&c, v, -1, -1)
+			applyModels(&c, "", "", v, -1, -1)
 		case "pf":
-			applyErrors(&c, 0, v, maxf(*pc, v/4))
+			applyModels(&c, "", "", 0, v, maxf(*pc, v/4))
 		case "km":
 			c.OneWay = orbit.PropagationDelay(v * 1e3)
 			c.Alpha = c.OneWay
@@ -160,23 +161,24 @@ func csvQuote(s string) string {
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
-// applyErrors installs error models: fixed P_F/P_C when pf >= 0, otherwise
-// BER through the link FEC stack, otherwise a perfect channel.
-func applyErrors(c *bench.RunConfig, ber, pf, pc float64) {
-	switch {
-	case pf >= 0:
-		if pc < 0 {
-			pc = 0
+// applyModels installs error model specs: explicit -imodel/-cmodel specs
+// win; otherwise the legacy -pf/-pc/-ber shorthands map through
+// channel.LegacySpecs (the single home of the per-frame-class FEC
+// defaults this CLI used to hardcode).
+func applyModels(c *bench.RunConfig, imodel, cmodel string, ber, pf, pc float64) {
+	if imodel != "" || cmodel != "" {
+		for _, spec := range []string{imodel, cmodel} {
+			if spec == "" {
+				continue
+			}
+			if _, err := channel.ParseModel(spec); err != nil {
+				fatal("%v", err)
+			}
 		}
-		c.IModel = channel.FixedProb{P: pf}
-		c.CModel = channel.FixedProb{P: pc}
-	case ber > 0:
-		c.IModel = &channel.BSC{BER: ber, Scheme: fec.Hamming74}
-		c.CModel = &channel.BSC{BER: ber, Scheme: fec.Repetition3}
-	default:
-		c.IModel = nil
-		c.CModel = nil
+		c.IModelSpec, c.CModelSpec = imodel, cmodel
+		return
 	}
+	c.IModelSpec, c.CModelSpec = channel.LegacySpecs(ber, pf, pc)
 }
 
 func maxf(a, b float64) float64 {

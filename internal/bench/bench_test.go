@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -66,10 +67,11 @@ func TestAnalyticalMapping(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("mapped params invalid: %v", err)
 	}
-	// Non-FixedProb models map to 0.
+	// Models without a closed-form per-frame probability map to NaN (the
+	// analytic columns render "-"), never to a silent 0.
 	c.IModel = &channel.BSC{BER: 1e-6}
-	if c.Analytical().PF != 0 {
-		t.Fatal("BSC should not map to a fixed P_F")
+	if !math.IsNaN(c.Analytical().PF) {
+		t.Fatal("BSC should map to NaN, not a fixed P_F")
 	}
 }
 

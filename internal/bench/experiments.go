@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 
 	"repro/internal/analysis"
 	"repro/internal/arq"
@@ -451,7 +453,7 @@ func E8FailureDetection() *Result {
 		cfg := base.lamsConfig()
 		cfg.CumulationDepth = cds[pi]
 		sched := sim.NewScheduler()
-		link := channel.NewLink(sched, base.pipe(), sim.NewRNG(7))
+		link := channel.NewLink(sched, base.pipe("ab"), sim.NewRNG(7))
 		var failedAt sim.Time
 		pair := lamsdlc.NewPair(sched, link, cfg, nil, func(now sim.Time, _ string) { failedAt = now })
 		pair.Start()
@@ -963,11 +965,16 @@ func E18MultiHopRelay() *Result {
 		sched := sim.NewScheduler()
 		roundTrip := 2 * 6670 * sim.Microsecond // ~2,000 km hops
 		eng := arq.MustEngine(reg.Name, reg.Defaults(roundTrip))
+		// Model specs, not instances: each hop's pipes instantiate their
+		// own models inside channel.NewPipe — the spec path the node layer
+		// (and anything else that fans one PipeConfig across many links)
+		// must use for stateful models. FixedProb resolves to the exact
+		// instances the hand-built config used, so draws are unchanged.
 		pipe := channel.PipeConfig{
-			RateBps: 300e6,
-			Delay:   channel.ConstantDelay(6670 * sim.Microsecond),
-			IModel:  channel.FixedProb{P: 0.05},
-			CModel:  channel.FixedProb{P: 0.01},
+			RateBps:    300e6,
+			Delay:      channel.ConstantDelay(6670 * sim.Microsecond),
+			IModelSpec: "fixed:p=0.05",
+			CModelSpec: "fixed:p=0.01",
 		}
 		nodes, _ := node.Line(sched, 3, eng, pipe, sim.NewRNG(uint64(41+pi)))
 		src, dst := nodes[0], nodes[2]
@@ -1083,6 +1090,89 @@ func E20CorruptionConvergence() *Result {
 	return r
 }
 
+// E21TraceReplay exercises the trace-driven channel engine end to end
+// (Kuhn et al., arXiv 1205.3831: link-layer results need physical-layer
+// error traces): a live Gilbert-Elliott run is recorded through
+// channel.Recorder, the trace round-trips through the binary file format,
+// and the reloaded trace is replayed against the SAME engine — the replayed
+// run must be byte-identical to the live one (every counter of the metrics
+// snapshot), for every registered engine. The same four traces then drive
+// every OTHER engine too: the cross-replay rows show what a fixed recorded
+// error process does to each protocol, which is the experimental setup the
+// registry + trace seam exists for. The analytic P_F column renders "-":
+// a Gilbert-Elliott channel has no closed-form per-frame probability, and
+// pretending 0 was the bug the AnalyticModel capability fixed.
+func E21TraceReplay() *Result {
+	r := &Result{
+		ID:    "E21",
+		Title: "trace-driven channel record/replay over every registered engine",
+		Table: stats.NewTable("", "protocol", "P_F(anal)", "delivered", "retx", "elapsed", "I-recs", "replay=live"),
+	}
+	const n = 400
+	base := Base()
+	base.N = n
+	base.Seed = 21
+	base.Horizon = 2 * sim.Minute
+	// Tracking-loss bursts (§2.1) through the paper's FEC stack: ~4 ms bad
+	// sojourns against a 10 ms checkpoint interval, control frames on the
+	// stronger code.
+	base.IModelSpec = "ge:gber=1e-7,bber=2e-3,mgood=40ms,mbad=4ms,fec=hamming74"
+	base.CModelSpec = "ge:gber=1e-8,bber=5e-4,mgood=40ms,mbad=4ms,fec=rep3"
+
+	okReplay := true
+	okAnalytic := true
+	for _, name := range arq.Protocols() {
+		reg, err := arq.ParseProtocol(name)
+		if err != nil {
+			panic(err)
+		}
+		cfg := base
+		cfg.Protocol = Protocol(reg.Name)
+
+		// Record the live run. The recording set belongs to this run alone.
+		rec := channel.NewTraceSet()
+		liveCfg := cfg
+		liveCfg.RecordChannels = rec
+		live := Run(liveCfg)
+
+		// Round-trip the trace through the binary format before replaying,
+		// so the byte-identity pin covers the file encoding too.
+		var buf bytes.Buffer
+		if err := rec.Encode(&buf); err != nil {
+			panic(err)
+		}
+		loaded, err := channel.ReadTraceSet(&buf)
+		if err != nil {
+			panic(err)
+		}
+		replayCfg := cfg
+		replayCfg.ReplayChannels = loaded
+		replay := Run(replayCfg)
+
+		same := bytes.Equal(live.Snapshot.JSON(), replay.Snapshot.JSON()) &&
+			live.Delivered == replay.Delivered && live.Elapsed == replay.Elapsed
+		if !same {
+			okReplay = false
+		}
+		pf := cfg.Analytical().PF
+		if !math.IsNaN(pf) {
+			okAnalytic = false
+		}
+		iRecs := len(loaded.Get("ab/i").Recs)
+		r.Table.AddRow(live.Protocol.String(), fmtProb(pf),
+			fmt.Sprint(live.Delivered), fmt.Sprint(live.Retransmissions),
+			fmtDur(live.Elapsed), fmt.Sprint(iRecs), fmt.Sprint(same))
+	}
+	r.check("replayed run is byte-identical to its recorded live run", okReplay,
+		"full metrics snapshot equality across %d engines, trace round-tripped through the file format",
+		len(arq.Protocols()))
+	r.check("Gilbert-Elliott channel is non-analytic (P_F renders '-')", okAnalytic,
+		"modelProb yields NaN, not a silent 0")
+	r.Notes = append(r.Notes,
+		"record: live ge channel -> Recorder -> 4 streams (ab/i ab/c ba/i ba/c); replay: same streams as the only error process")
+	return r
+}
+
 // All runs every experiment in order.
 func All() []*Result {
 	return []*Result{
@@ -1106,6 +1196,7 @@ func All() []*Result {
 		E18MultiHopRelay(),
 		E19ConstellationScale(),
 		E20CorruptionConvergence(),
+		E21TraceReplay(),
 	}
 }
 
@@ -1132,6 +1223,7 @@ func ByID(id string) func() *Result {
 		"E18": E18MultiHopRelay,
 		"E19": E19ConstellationScale,
 		"E20": E20CorruptionConvergence,
+		"E21": E21TraceReplay,
 	}
 	return m[id]
 }

@@ -73,6 +73,32 @@ type RunConfig struct {
 	OneWay  sim.Duration
 	IModel  channel.ErrorModel // nil = Perfect
 	CModel  channel.ErrorModel
+	// IModelSpec and CModelSpec name the error models by registry spec
+	// ("fixed:p=0.05", "ge:gber=1e-7,...", "trace:file=..."; see
+	// channel.ParseModel). Each of the link's pipes instantiates a FRESH
+	// model from its spec, so stateful models (Gilbert-Elliott, replay
+	// cursors) work per direction — unlike the instance fields above,
+	// which both directions share and which therefore must stay
+	// stateless. Instances take precedence when non-nil; a malformed spec
+	// panics in Run (validate with channel.ParseModel at the flag layer).
+	IModelSpec, CModelSpec string
+
+	// RecordChannels, when non-nil, wraps every channel model in a
+	// channel.Recorder capturing its per-frame decisions into the set's
+	// streams "ab/i", "ab/c", "ba/i", "ba/c" (direction/frame-class). A
+	// recording set belongs to exactly one run — never share one across a
+	// RunMany batch.
+	RecordChannels *channel.TraceSet
+	// ReplayChannels, when non-nil, REPLACES the channel models with
+	// channel.Replay cursors over the same four streams (missing streams
+	// replay clean). The set is read read-only and may be shared by any
+	// number of concurrent runs. Fault-injector burst gates still wrap the
+	// replayed models: faults compose on top of a replayed channel exactly
+	// as on a live one.
+	ReplayChannels *channel.TraceSet
+	// ReplayPolicy governs a replay cursor that outlives its trace
+	// (default channel.LoopReplay).
+	ReplayPolicy channel.ReplayPolicy
 	// IExpansion/CExpansion scale wire occupancy for the FEC code rate.
 	IExpansion, CExpansion float64
 	// TapAB and TapBA, when non-nil, observe the two link directions for
@@ -197,8 +223,13 @@ func (c RunConfig) engineConfig(reg arq.Registration) arq.EngineConfig {
 	}
 }
 
-func (c RunConfig) pipe() channel.PipeConfig {
-	return channel.PipeConfig{
+// pipe builds one direction's config. dir ("ab" or "ba") names the
+// direction's trace streams. Model specs are resolved here rather than in
+// channel.NewPipe so the record/replay wrappers below — and the fault
+// injector's burst gates, which Run applies after this — compose around
+// the concrete per-direction instance.
+func (c RunConfig) pipe(dir string) channel.PipeConfig {
+	p := channel.PipeConfig{
 		RateBps:    c.RateBps,
 		Delay:      channel.ConstantDelay(c.OneWay),
 		IModel:     c.IModel,
@@ -207,6 +238,23 @@ func (c RunConfig) pipe() channel.PipeConfig {
 		CExpansion: c.CExpansion,
 		Metrics:    c.Metrics,
 	}
+	if p.IModel == nil && c.IModelSpec != "" {
+		p.IModel = channel.MustParseModel(c.IModelSpec).New()
+	}
+	if p.CModel == nil && c.CModelSpec != "" {
+		p.CModel = channel.MustParseModel(c.CModelSpec).New()
+	}
+	if c.ReplayChannels != nil {
+		// Get, not Stream: replay must not mutate a set shared across a
+		// concurrent batch; absent streams replay clean.
+		p.IModel = channel.NewReplay(c.ReplayChannels.Get(dir+"/i"), c.ReplayPolicy)
+		p.CModel = channel.NewReplay(c.ReplayChannels.Get(dir+"/c"), c.ReplayPolicy)
+	}
+	if c.RecordChannels != nil {
+		p.IModel = channel.NewRecorder(p.IModel, c.RecordChannels.Stream(dir+"/i"))
+		p.CModel = channel.NewRecorder(p.CModel, c.RecordChannels.Stream(dir+"/c"))
+	}
+	return p
 }
 
 // runScratch is the per-run mutable state a worker recycles across runs:
@@ -234,9 +282,9 @@ func Run(c RunConfig) RunResult {
 	sched := sim.NewScheduler()
 	sched.Instrument(c.Metrics)
 	rng := sim.NewRNG(c.Seed)
-	ab := c.pipe()
+	ab := c.pipe("ab")
 	ab.Tap = c.TapAB
-	ba := c.pipe()
+	ba := c.pipe("ba")
 	ba.Tap = c.TapBA
 	var inj *faults.Injector
 	if c.Faults != nil && len(c.Faults.Events) > 0 {
@@ -402,10 +450,13 @@ func Run(c RunConfig) RunResult {
 }
 
 // Analytical builds the analysis parameters matching a RunConfig, using the
-// configured per-frame error probabilities when the models are FixedProb
-// (the validation experiments) and frame sizes from the codec.
+// configured per-frame error probabilities when the models carry them
+// (channel.AnalyticModel — the validation experiments' FixedProb) and
+// frame sizes from the codec. Non-analytic channels (BSC, Gilbert-Elliott,
+// traces) yield NaN probabilities; render them as "-", never as 0.
 func (c RunConfig) Analytical() analysis.Params {
-	pf, pc := modelProb(c.IModel), modelProb(c.CModel)
+	pf := modelProb(analyticModel(c.IModel, c.IModelSpec))
+	pc := modelProb(analyticModel(c.CModel, c.CModelSpec))
 	frameBytes := c.PayloadBytes + 21 // I-frame header + CRC
 	ctrlBytes := 20                   // empty checkpoint
 	return analysis.Params{
@@ -422,11 +473,38 @@ func (c RunConfig) Analytical() analysis.Params {
 	}
 }
 
-func modelProb(m channel.ErrorModel) float64 {
-	if fp, ok := m.(channel.FixedProb); ok {
-		return fp.P
+// analyticModel resolves the effective model for the analysis: the
+// instance when set, else a transient instantiation of the spec, else nil
+// (a perfect channel).
+func analyticModel(inst channel.ErrorModel, spec string) channel.ErrorModel {
+	if inst != nil || spec == "" {
+		return inst
 	}
-	return 0
+	return channel.MustParseModel(spec).New()
+}
+
+// modelProb extracts the per-frame error probability through the
+// channel.AnalyticModel capability. A model without it has no closed-form
+// probability, and the honest answer is NaN — the old FixedProb type
+// switch silently returned 0, making every other channel read as
+// error-free in the analytic columns.
+func modelProb(m channel.ErrorModel) float64 {
+	if m == nil {
+		return 0 // nil means Perfect
+	}
+	if am, ok := m.(channel.AnalyticModel); ok {
+		return am.MeanFrameErrorProb()
+	}
+	return math.NaN()
+}
+
+// fmtProb renders an analytic probability for tables: "-" for NaN (the
+// channel has no closed form), %.3g otherwise.
+func fmtProb(p float64) string {
+	if math.IsNaN(p) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", p)
 }
 
 // Check is a pass/fail assertion of one of the paper's shape claims.

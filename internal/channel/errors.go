@@ -30,11 +30,27 @@ type ErrorModel interface {
 	Corrupt(rng *sim.RNG, start, end sim.Time, bits int) bool
 }
 
+// AnalyticModel is the capability interface for models whose behavior is a
+// single closed-form per-frame error probability — the quantity the paper's
+// Section 4 analysis is parameterized by. Only models for which that number
+// is exact implement it (Perfect, FixedProb); length-dependent, stateful,
+// and trace-driven processes deliberately do not, and analytic consumers
+// must render their absence (NaN) honestly instead of defaulting to 0 —
+// the old bench.modelProb fallback made every non-fixed channel look
+// error-free in the analytic columns.
+type AnalyticModel interface {
+	// MeanFrameErrorProb returns the per-frame corruption probability.
+	MeanFrameErrorProb() float64
+}
+
 // Perfect is an error-free channel.
 type Perfect struct{}
 
 // Corrupt always reports false.
 func (Perfect) Corrupt(*sim.RNG, sim.Time, sim.Time, int) bool { return false }
+
+// MeanFrameErrorProb is 0: no frame is ever corrupted.
+func (Perfect) MeanFrameErrorProb() float64 { return 0 }
 
 // FixedProb corrupts each frame independently with probability P, regardless
 // of length. It is the model the validation experiments use, because the
@@ -48,6 +64,9 @@ type FixedProb struct {
 func (m FixedProb) Corrupt(rng *sim.RNG, _, _ sim.Time, _ int) bool {
 	return rng.Bernoulli(m.P)
 }
+
+// MeanFrameErrorProb is P, exactly.
+func (m FixedProb) MeanFrameErrorProb() float64 { return m.P }
 
 // fepCache memoizes fec.Scheme.FrameErrorProb per error model. A run uses
 // only a handful of (BER, frame-length) pairs — I-frames are fixed-size,

@@ -56,6 +56,16 @@ type PipeConfig struct {
 	// control frames respectively (assumption 4: separate FEC strengths).
 	// Nil means Perfect.
 	IModel, CModel ErrorModel
+	// IModelSpec and CModelSpec name the error processes by registry spec
+	// ("fixed:p=0.05", "ge:...", "trace:file=..."; see ParseModel). A spec
+	// is resolved inside NewPipe to a FRESH instance per pipe — exactly
+	// what stateful models (Gilbert-Elliott sojourns, replay cursors) need,
+	// since instances must never be shared across pipes. The instance
+	// fields above take precedence when non-nil (programmatic use); a
+	// malformed spec panics in NewPipe, a wiring error like a nil
+	// scheduler — layers taking specs from users validate with ParseModel
+	// first.
+	IModelSpec, CModelSpec string
 	// IExpansion and CExpansion scale the wire occupancy of information
 	// and control frames for the FEC code rate (fec.Scheme.Overhead):
 	// coded redundancy costs real transmission time, which is the other
@@ -159,10 +169,10 @@ func NewPipe(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Pipe {
 		cfg.Delay = ConstantDelay(0)
 	}
 	if cfg.IModel == nil {
-		cfg.IModel = Perfect{}
+		cfg.IModel = specModel(cfg.IModelSpec)
 	}
 	if cfg.CModel == nil {
-		cfg.CModel = Perfect{}
+		cfg.CModel = specModel(cfg.CModelSpec)
 	}
 	p := &Pipe{sched: sched, cfg: cfg, rng: rng}
 	p.deliverFn = p.deliver
@@ -173,6 +183,18 @@ func NewPipe(sched *sim.Scheduler, cfg PipeConfig, rng *sim.RNG) *Pipe {
 	p.mBits = cfg.Metrics.Counter("channel_bits_sent_total")
 	p.mQueueNS = cfg.Metrics.Histogram("channel_wire_queue_ns", metrics.ExpBuckets(1e3, 4, 16))
 	return p
+}
+
+// specModel instantiates a model spec for one pipe ("" = Perfect).
+func specModel(spec string) ErrorModel {
+	if spec == "" {
+		return Perfect{}
+	}
+	m, err := ParseModel(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m.New()
 }
 
 // SetHandler installs the receiver callback. Frames arriving with no handler

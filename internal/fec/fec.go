@@ -21,7 +21,11 @@
 // closed forms.
 package fec
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"strings"
+)
 
 // Scheme describes an error-correcting code by its combinatorial parameters,
 // sufficient for residual-error-rate computation.
@@ -103,6 +107,36 @@ var Hamming74 = Scheme{Name: "hamming(7,4)", N: 7, K: 4, T: 1}
 // "more powerful FEC" of link-model assumption 4. Majority vote corrects any
 // single error per 3-bit group.
 var Repetition3 = Scheme{Name: "repetition-3", N: 3, K: 1, T: 1}
+
+// schemesByName resolves the flag/spec spelling of each scheme. Canonical
+// names are the short ones the channel-model spec grammar uses
+// ("fec=hamming74"); the Scheme.Name display strings are accepted as
+// aliases so a spec can round-trip a rendered model description.
+var schemesByName = map[string]Scheme{
+	"none":         Uncoded,
+	"uncoded":      Uncoded,
+	"hamming74":    Hamming74,
+	"hamming(7,4)": Hamming74,
+	"rep3":         Repetition3,
+	"repetition-3": Repetition3,
+	"repetition3":  Repetition3,
+}
+
+// Names returns the canonical scheme names, sorted — the list an unknown
+// name error shows.
+func Names() []string { return []string{"hamming74", "none", "rep3"} }
+
+// Named resolves a scheme by name (canonical or alias, case insensitive).
+// Unknown names error, listing what exists — no silent default: the
+// hardcoded per-CLI fallbacks this replaces were exactly the bug.
+func Named(name string) (Scheme, error) {
+	s, ok := schemesByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Scheme{}, fmt.Errorf("fec: unknown scheme %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}
 
 // logChoose returns ln C(n, k).
 func logChoose(n, k int) float64 {

@@ -59,6 +59,14 @@ type Config struct {
 	// frames.
 	RateBps            float64
 	IErrProb, CErrProb float64
+	// IModelSpec and CModelSpec, when set, name the per-link error models
+	// by registry spec (channel.ParseModel; "ge:...", "trace:file=...")
+	// and take precedence over IErrProb/CErrProb. Every adjacency pipe
+	// instantiates a FRESH model from its spec inside channel.NewPipe, and
+	// each pipe's RNG stream is keyed by adjacency index, not by shard —
+	// so stateful models (Gilbert-Elliott sojourns, replay cursors) stay
+	// bit-identical at every shard count.
+	IModelSpec, CModelSpec string
 
 	// Horizon bounds simulated time. Unless RunToHorizon is set, the run
 	// stops early once every routable flow has delivered everything it
@@ -148,6 +156,14 @@ func (c Config) Validate() error {
 	}
 	if c.RateBps <= 0 {
 		return fmt.Errorf("shard: rate must be positive")
+	}
+	for _, spec := range []string{c.IModelSpec, c.CModelSpec} {
+		if spec == "" {
+			continue
+		}
+		if _, err := channel.ParseModel(spec); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -459,11 +475,15 @@ func Build(cfg Config) (*Constellation, error) {
 	// and engine round trips are all keyed by adjacency index, so they are
 	// identical at every K.
 	sessions := make([]session, 0, 2*len(adjs))
-	pipeCfg := channel.PipeConfig{RateBps: cfg.RateBps}
-	if cfg.IErrProb > 0 {
+	pipeCfg := channel.PipeConfig{
+		RateBps:    cfg.RateBps,
+		IModelSpec: cfg.IModelSpec,
+		CModelSpec: cfg.CModelSpec,
+	}
+	if pipeCfg.IModelSpec == "" && cfg.IErrProb > 0 {
 		pipeCfg.IModel = channel.FixedProb{P: cfg.IErrProb}
 	}
-	if cfg.CErrProb > 0 {
+	if pipeCfg.CModelSpec == "" && cfg.CErrProb > 0 {
 		pipeCfg.CModel = channel.FixedProb{P: cfg.CErrProb}
 	}
 	for ai := range adjs {
